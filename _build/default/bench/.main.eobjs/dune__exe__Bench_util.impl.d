@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Dcl List Printf Probe Stats Stdlib String

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Bench_util Benchmark Dcl Float Hashtbl Hmm List Measure Mmhd Option Pathchar Printf Probe Scenarios Staged Stats String Sys Test Time Toolkit Unix

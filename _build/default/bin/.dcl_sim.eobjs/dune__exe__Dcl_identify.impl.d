@@ -1,0 +1,1 @@
+bin/dcl_identify.ml: Arg Array Cmd Cmdliner Dcl Format Printf Probe Stats Term

@@ -1,0 +1,1 @@
+bin/dcl_pathchar.ml: Arg Array Cmd Cmdliner List Pathchar Printf Scenarios String Term

@@ -1,0 +1,1 @@
+bin/dcl_sim.ml: Arg Array Cmd Cmdliner Dcl Format List Printf Probe Scenarios String Term

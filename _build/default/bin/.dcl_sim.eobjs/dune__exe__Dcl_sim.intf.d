@@ -1,0 +1,1 @@
+bin/dcl_sim.mli:

@@ -1,0 +1,1 @@
+examples/bottleneck_bound.ml: Array Dcl Printf Scenarios Stats

@@ -1,0 +1,1 @@
+examples/clock_skew_repair.ml: Dcl Format Printf Probe Scenarios Stats

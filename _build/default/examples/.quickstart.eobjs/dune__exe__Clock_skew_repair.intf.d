@@ -1,0 +1,1 @@
+examples/clock_skew_repair.mli:

@@ -1,0 +1,1 @@
+examples/multipath_triage.ml: Dcl Format Printf Probe Scenarios Stats

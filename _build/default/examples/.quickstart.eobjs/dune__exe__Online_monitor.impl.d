@@ -1,0 +1,1 @@
+examples/online_monitor.ml: Dcl List Net Netsim Printf Probe Sim Stats Traffic

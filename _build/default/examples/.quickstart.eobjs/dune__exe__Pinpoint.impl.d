@@ -1,0 +1,1 @@
+examples/pinpoint.ml: Array Dcl List Net Netsim Printf Probe Sim Stats Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dcl Format Link Net Netsim Printf Probe Sim Stats Traffic

@@ -1,0 +1,69 @@
+(* Continuous monitoring: watch a path's congestion structure change.
+
+   For the first half of this run a single link is congested (a
+   dominant congested link exists); halfway through, heavy pulses start
+   on a second, larger-buffered link, and the path stops having a
+   dominant congested link.  A sliding-window identification
+   (Dcl.Online) detects the transition.
+
+     dune exec examples/online_monitor.exe *)
+
+open Netsim
+
+let () =
+  let sim = Sim.create ~seed:21 () in
+  let net = Net.create sim in
+  let src = Net.add_node net "src" in
+  let r1 = Net.add_node net "r1" in
+  let r2 = Net.add_node net "r2" in
+  let r3 = Net.add_node net "r3" in
+  let dst = Net.add_node net "dst" in
+  ignore (Net.add_duplex net ~a:src ~b:r1 ~bandwidth:10e6 ~delay:0.001 ~capacity:200_000 ());
+  (* Link A: 0.7 Mb/s, modest buffer — congested from the start. *)
+  ignore (Net.add_duplex net ~a:r1 ~b:r2 ~bandwidth:0.7e6 ~delay:0.005 ~capacity:25_600 ());
+  (* Link B: 0.2 Mb/s, large buffer — idle at first. *)
+  ignore (Net.add_duplex net ~a:r2 ~b:r3 ~bandwidth:0.2e6 ~delay:0.005 ~capacity:25_600 ());
+  ignore (Net.add_duplex net ~a:r3 ~b:dst ~bandwidth:10e6 ~delay:0.001 ~capacity:200_000 ());
+  Net.compute_routes net;
+
+  (* Link A's congestion: two FTP sawtooths, running throughout. *)
+  ignore (Traffic.Workload.ftp_at net ~src:r1 ~dst:r2 ~at:0.1);
+  ignore (Traffic.Workload.ftp_at net ~src:r1 ~dst:r2 ~at:0.4);
+  (* Link B: a light base load now; heavy overflow pulses START AT
+     t = 620 s (the regime change). *)
+  Traffic.Udp.start (Traffic.Udp.cbr net ~src:r2 ~dst:r3 ~rate:0.05e6 ~pkt_size:1000);
+  let pulses =
+    Traffic.Udp.pulse net ~src:r2 ~dst:r3 ~rate:0.8e6 ~pkt_size:1000 ~on_duration:0.55
+      ~period:20.
+  in
+  Sim.at sim 620. (fun () -> Traffic.Udp.start pulses);
+
+  (* Probe for 20 minutes. *)
+  let prober = Probe.Prober.create net ~src ~dst ~interval:0.02 () in
+  Probe.Prober.start prober ~at:20. ~until:1220.;
+  Sim.run_until sim 1225.;
+  let trace = Probe.Prober.trace prober in
+  Printf.printf "trace: %d probes, loss rate %.2f%%\n" (Probe.Trace.length trace)
+    (100. *. Probe.Trace.loss_rate trace);
+
+  (* Slide a 5-minute window in 1-minute steps. *)
+  let rng = Stats.Rng.create 3 in
+  let samples = Dcl.Online.scan ~rng ~window:300. ~stride:60. trace in
+  print_endline "window-end  conclusion            F(2d*)  loss";
+  List.iter
+    (fun (s : Dcl.Online.sample) ->
+      Printf.printf "  %6.0f s  %-20s %6.3f  %.2f%%\n" s.Dcl.Online.at
+        (match s.Dcl.Online.conclusion with
+        | Some c -> Dcl.Identify.conclusion_to_string c
+        | None -> "(not identifiable)")
+        s.Dcl.Online.f_at_two_d_star
+        (100. *. s.Dcl.Online.loss_rate))
+    samples;
+  print_endline "\nchange points:";
+  List.iter
+    (fun (at, c) ->
+      Printf.printf "  from the window ending at %.0f s: %s\n" at
+        (match c with
+        | Some c -> Dcl.Identify.conclusion_to_string c
+        | None -> "(not identifiable)"))
+    (Dcl.Online.changes samples)

@@ -1,0 +1,57 @@
+(* Pinpointing the dominant congested link — the paper's future work
+   (Section VII), realized with prefix probing: probe from the source
+   to every router along the path as well as to the destination, run
+   the identification on each prefix, and locate the hop at which the
+   path "acquires" its dominant congested link.
+
+     dune exec examples/pinpoint.exe *)
+
+open Netsim
+
+let () =
+  (* A five-link chain whose fourth link is the dominant congested
+     link. *)
+  let sim = Sim.create ~seed:17 () in
+  let net = Net.create sim in
+  let src = Net.add_node net "src" in
+  let routers = Array.init 5 (fun i -> Net.add_node net (Printf.sprintf "r%d" (i + 1))) in
+  let dst = Net.add_node net "dst" in
+  let chain = Array.concat [ [| src |]; routers; [| dst |] ] in
+  Array.iteri
+    (fun i a ->
+      if i < Array.length chain - 1 then
+        let bw = if i = 3 then 0.7e6 else 10e6 in
+        let cap = if i = 3 then 25_600 else 200_000 in
+        ignore (Net.add_duplex net ~a ~b:chain.(i + 1) ~bandwidth:bw ~delay:0.004 ~capacity:cap ()))
+    chain;
+  Net.compute_routes net;
+  (* Congest link 4 (r4 -> r5) with two FTP sawtooths. *)
+  ignore (Traffic.Workload.ftp_at net ~src:chain.(3) ~dst:chain.(4) ~at:0.1);
+  ignore (Traffic.Workload.ftp_at net ~src:chain.(3) ~dst:chain.(4) ~at:0.4);
+
+  (* One prober per prefix: to r1..r5 and to dst (6 links). *)
+  let probers =
+    List.init 6 (fun i ->
+        let target = chain.(i + 1) in
+        let p = Probe.Prober.create net ~src ~dst:target ~interval:0.02 () in
+        Probe.Prober.start p ~at:20. ~until:320.;
+        (i + 1, p))
+  in
+  Sim.run_until sim 325.;
+  let traces = List.map (fun (hops, p) -> (hops, Probe.Prober.trace p)) probers in
+
+  let rng = Stats.Rng.create 5 in
+  let prefixes, located = Dcl.Locate.analyze ~rng traces in
+  print_endline "prefix  loss    conclusion";
+  List.iter
+    (fun (p : Dcl.Locate.prefix) ->
+      Printf.printf "  %d     %5.2f%%  %s\n" p.Dcl.Locate.hops
+        (100. *. p.Dcl.Locate.loss_rate)
+        (match p.Dcl.Locate.conclusion with
+        | Some c -> Dcl.Identify.conclusion_to_string c
+        | None -> "(not identifiable)"))
+    prefixes;
+  (match located with
+  | Some hop -> Printf.printf "\npinpointed dominant congested link: hop %d\n" hop
+  | None -> print_endline "\nno dominant congested link pinpointed");
+  print_endline "(ground truth: the congested link is hop 4)"

@@ -1,0 +1,63 @@
+type line = { slope : float; intercept : float }
+
+let lower_hull points =
+  let pts = Array.copy points in
+  Array.sort compare pts;
+  let n = Array.length pts in
+  if n <= 2 then pts
+  else begin
+    let hull = Array.make n (0., 0.) in
+    let k = ref 0 in
+    let cross (ox, oy) (ax, ay) (bx, by) =
+      ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
+    in
+    Array.iter
+      (fun p ->
+        while !k >= 2 && cross hull.(!k - 2) hull.(!k - 1) p <= 0. do
+          decr k
+        done;
+        hull.(!k) <- p;
+        incr k)
+      pts;
+    Array.sub hull 0 !k
+  end
+
+let estimate ~times ~delays =
+  let n = Array.length times in
+  if n <> Array.length delays then invalid_arg "Clocksync.estimate: length mismatch";
+  if n < 2 then invalid_arg "Clocksync.estimate: need at least two samples";
+  let points = Array.init n (fun i -> (times.(i), delays.(i))) in
+  let hull = lower_hull points in
+  let t_mean = Array.fold_left ( +. ) 0. times /. float_of_int n in
+  if Array.length hull = 1 then invalid_arg "Clocksync.estimate: all times equal";
+  (* The LP objective sum (d_i - a - b t_i) over feasible (a, b) is
+     minimized by the hull edge whose span contains the mean time: the
+     objective is linear in (a, b) and the feasible optimum moves along
+     hull edges, with the derivative changing sign where t_mean falls
+     inside an edge's interval. *)
+  let best = ref None in
+  for i = 0 to Array.length hull - 2 do
+    let x1, y1 = hull.(i) and x2, y2 = hull.(i + 1) in
+    if x2 > x1 then begin
+      let slope = (y2 -. y1) /. (x2 -. x1) in
+      let intercept = y1 -. (slope *. x1) in
+      (* Objective up to constants: maximize intercept + slope*t_mean. *)
+      let score = intercept +. (slope *. t_mean) in
+      match !best with
+      | Some (s, _) when s >= score -> ()
+      | Some _ | None -> best := Some (score, { slope; intercept })
+    end
+  done;
+  match !best with
+  | Some (_, line) -> line
+  | None -> invalid_arg "Clocksync.estimate: degenerate hull"
+
+let remove_skew ~times ~delays =
+  let { slope; _ } = estimate ~times ~delays in
+  let t0 = times.(0) in
+  Array.mapi (fun i d -> d -. (slope *. (times.(i) -. t0))) delays
+
+let apply_skew ~times ~delays ~skew =
+  if Array.length times <> Array.length delays then
+    invalid_arg "Clocksync.apply_skew: length mismatch";
+  Array.mapi (fun i d -> d +. (skew *. times.(i))) delays

@@ -1,0 +1,33 @@
+(** Clock offset and skew removal for one-way delay measurements
+    (Zhang, Liu, Xia, INFOCOM 2002 — the algorithm the paper applies
+    to its tcpdump traces).
+
+    When sender and receiver clocks are unsynchronized, the measured
+    one-way delay of a probe sent at time [t] is
+    [d(t) + offset + skew * t].  Since true delays are bounded below by
+    the (constant) propagation delay, the skew line is found as the
+    line lying below every measurement that minimizes the total
+    vertical distance to the points — a linear program whose optimum is
+    attained on the lower convex hull of the measurement cloud. *)
+
+type line = { slope : float; intercept : float }
+(** [d = intercept +. slope *. t]. *)
+
+val lower_hull : (float * float) array -> (float * float) array
+(** Lower convex hull of a point cloud, by Andrew's monotone chain;
+    input need not be sorted.  Exposed for tests. *)
+
+val estimate : times:float array -> delays:float array -> line
+(** Best lower-bounding line (least total distance).  Requires at
+    least two samples with distinct times. *)
+
+val remove_skew : times:float array -> delays:float array -> float array
+(** Subtract the estimated skew from the measurements:
+    [delays.(i) -. slope *. (times.(i) -. times.(0))].  The constant
+    clock offset is retained — the identification pipeline estimates
+    the propagation delay as the minimum observed delay, which absorbs
+    any constant shift. *)
+
+val apply_skew : times:float array -> delays:float array -> skew:float -> float array
+(** Distort measurements with a linear clock drift of [skew]
+    seconds/second (testing helper: [remove_skew] should undo it). *)

@@ -1,0 +1,1 @@
+lib/dcl/bootstrap.ml: Array Float Identify Probe Stats Stdlib Tests

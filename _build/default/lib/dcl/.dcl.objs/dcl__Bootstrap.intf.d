@@ -1,0 +1,1 @@
+lib/dcl/bootstrap.mli: Identify Probe Stats

@@ -1,0 +1,1 @@
+lib/dcl/bound.ml: Array Discretize List Vqd

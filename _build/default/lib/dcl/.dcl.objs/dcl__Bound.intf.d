@@ -1,0 +1,1 @@
+lib/dcl/bound.mli: Vqd

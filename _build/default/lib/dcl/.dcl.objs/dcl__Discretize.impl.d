@@ -1,0 +1,1 @@
+lib/dcl/discretize.ml: Array Probe

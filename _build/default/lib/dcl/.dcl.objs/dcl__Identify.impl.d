@@ -1,0 +1,1 @@
+lib/dcl/identify.ml: Array Bound Discretize Float Format Hmm Mmhd Probe Tests Vqd

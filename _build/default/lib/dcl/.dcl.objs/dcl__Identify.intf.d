@@ -1,0 +1,1 @@
+lib/dcl/identify.mli: Discretize Format Probe Stats Tests Vqd

@@ -1,0 +1,1 @@
+lib/dcl/locate.ml: Identify List Probe

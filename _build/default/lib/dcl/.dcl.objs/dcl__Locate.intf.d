@@ -1,0 +1,1 @@
+lib/dcl/locate.mli: Identify Probe Stats

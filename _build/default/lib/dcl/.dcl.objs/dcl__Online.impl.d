@@ -1,0 +1,1 @@
+lib/dcl/online.ml: Array Float Identify List Probe Tests

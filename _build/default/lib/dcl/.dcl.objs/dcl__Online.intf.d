@@ -1,0 +1,1 @@
+lib/dcl/online.mli: Identify Probe Stats

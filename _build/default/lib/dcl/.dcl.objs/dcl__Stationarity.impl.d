@@ -1,0 +1,1 @@
+lib/dcl/stationarity.ml: Array Discretize Float Format Probe Stats

@@ -1,0 +1,1 @@
+lib/dcl/stationarity.mli: Format Probe

@@ -1,0 +1,1 @@
+lib/dcl/tests.ml: Format Vqd

@@ -1,0 +1,1 @@
+lib/dcl/tests.mli: Format Vqd

@@ -1,0 +1,1 @@
+lib/dcl/truth.ml: Array Format Probe

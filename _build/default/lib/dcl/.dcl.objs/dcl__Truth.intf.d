@@ -1,0 +1,1 @@
+lib/dcl/truth.mli: Format Probe

@@ -1,0 +1,1 @@
+lib/dcl/vqd.ml: Array Discretize Format Probe Stats

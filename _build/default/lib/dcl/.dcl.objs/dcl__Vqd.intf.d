@@ -1,0 +1,1 @@
+lib/dcl/vqd.mli: Discretize Format Probe

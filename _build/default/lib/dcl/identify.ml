@@ -1,0 +1,133 @@
+type model = Model_mmhd | Model_hmm | Model_markov
+
+type params = {
+  model : model;
+  n : int;
+  m : int;
+  em_eps : float;
+  em_max_iter : int;
+  restarts : int;
+  prop_delay : Discretize.prop_delay;
+  sdcl_tolerance : float;
+  wdcl_tolerance : float;
+  beta : float;
+  eps : float;
+}
+
+let default_params =
+  {
+    model = Model_mmhd;
+    n = 2;
+    m = 5;
+    em_eps = 1e-3;
+    em_max_iter = 300;
+    restarts = 2;
+    prop_delay = Discretize.From_trace;
+    sdcl_tolerance = Tests.default_tolerance;
+    wdcl_tolerance = 0.04;
+    beta = 0.06;
+    eps = 0.;
+  }
+
+type conclusion = Strongly_dominant | Weakly_dominant | No_dominant
+
+type result = {
+  params : params;
+  scheme : Discretize.t;
+  vqd : Vqd.t;
+  sdcl : Tests.outcome;
+  wdcl : Tests.outcome;
+  conclusion : conclusion;
+  bound : float option;
+  loss_rate : float;
+  observations : int;
+  em_iterations : int;
+  log_likelihood : float;
+  em_converged : bool;
+}
+
+let identifiable trace =
+  Probe.Trace.losses trace > 0
+  && Probe.Trace.length trace > Probe.Trace.losses trace
+  &&
+  let ds = Probe.Trace.observed_delays trace in
+  Array.length ds > 0
+  && Array.fold_left Float.max ds.(0) ds > Array.fold_left Float.min ds.(0) ds
+
+let model_pmf params ~rng symbols =
+  match params.model with
+  | Model_mmhd | Model_markov ->
+      let n = match params.model with Model_markov -> 1 | Model_mmhd | Model_hmm -> params.n in
+      let model, stats =
+        Mmhd.fit ~eps:params.em_eps ~max_iter:params.em_max_iter ~restarts:params.restarts
+          ~rng ~n ~m:params.m symbols
+      in
+      ( Mmhd.virtual_delay_pmf model symbols,
+        (stats.Mmhd.iterations, stats.Mmhd.log_likelihood, stats.Mmhd.converged) )
+  | Model_hmm ->
+      let model, stats =
+        Hmm.fit ~eps:params.em_eps ~max_iter:params.em_max_iter ~restarts:params.restarts
+          ~rng ~n:params.n ~m:params.m symbols
+      in
+      ( Hmm.virtual_delay_pmf model symbols,
+        (stats.Hmm.iterations, stats.Hmm.log_likelihood, stats.Hmm.converged) )
+
+let fit_vqd ?(params = default_params) ~rng trace =
+  if not (identifiable trace) then
+    invalid_arg "Identify: trace has no loss or no delay spread";
+  let scheme = Discretize.of_trace ~m:params.m ~prop_delay:params.prop_delay trace in
+  let symbols = Discretize.symbolize scheme (Probe.Trace.observations trace) in
+  let pmf, stats = model_pmf params ~rng symbols in
+  (Vqd.of_pmf scheme pmf, stats)
+
+let run ?(params = default_params) ~rng trace =
+  let vqd, (em_iterations, log_likelihood, em_converged) = fit_vqd ~params ~rng trace in
+  let sdcl = Tests.sdcl ~tolerance:params.sdcl_tolerance vqd in
+  let wdcl =
+    Tests.wdcl ~tolerance:params.wdcl_tolerance ~beta:params.beta ~eps:params.eps vqd
+  in
+  let conclusion =
+    match (sdcl.Tests.verdict, wdcl.Tests.verdict) with
+    | Tests.Accept, _ -> Strongly_dominant
+    | Tests.Reject, Tests.Accept -> Weakly_dominant
+    | Tests.Reject, Tests.Reject -> No_dominant
+  in
+  let bound =
+    match conclusion with
+    | Strongly_dominant -> Some (Bound.sdcl_bound vqd)
+    | Weakly_dominant -> Some (Bound.wdcl_bound ~beta:params.beta vqd)
+    | No_dominant -> None
+  in
+  {
+    params;
+    scheme = vqd.Vqd.scheme;
+    vqd;
+    sdcl;
+    wdcl;
+    conclusion;
+    bound;
+    loss_rate = Probe.Trace.loss_rate trace;
+    observations = Probe.Trace.length trace;
+    em_iterations;
+    log_likelihood;
+    em_converged;
+  }
+
+let conclusion_to_string = function
+  | Strongly_dominant -> "strongly dominant congested link"
+  | Weakly_dominant -> "weakly dominant congested link"
+  | No_dominant -> "no dominant congested link"
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>conclusion: %s@,SDCL-Test: %a@,WDCL-Test(beta=%.2f,eps=%.2f): %a@,"
+    (conclusion_to_string r.conclusion) Tests.pp_outcome r.sdcl r.params.beta r.params.eps
+    Tests.pp_outcome r.wdcl;
+  (match r.bound with
+  | Some b -> Format.fprintf ppf "Q_max upper bound: %.1f ms@," (1000. *. b)
+  | None -> ());
+  Format.fprintf ppf
+    "loss rate: %.2f%%, probes: %d, EM: %d iterations (%s), logL=%.1f@]"
+    (100. *. r.loss_rate) r.observations r.em_iterations
+    (if r.em_converged then "converged" else "max-iter")
+    r.log_likelihood

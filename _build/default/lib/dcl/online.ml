@@ -1,0 +1,53 @@
+type sample = {
+  at : float;
+  conclusion : Identify.conclusion option;
+  f_at_two_d_star : float;
+  loss_rate : float;
+}
+
+let scan ?(params = Identify.default_params) ~rng ~window ~stride trace =
+  if stride <= 0. then invalid_arg "Online.scan: stride <= 0";
+  let duration = Probe.Trace.duration trace in
+  if window <= 0. || window > duration then
+    invalid_arg "Online.scan: window must be in (0, duration]";
+  let interval = trace.Probe.Trace.interval in
+  let per_window = int_of_float (ceil (window /. interval)) in
+  let n = Probe.Trace.length trace in
+  let rec walk t acc =
+    let pos = int_of_float (t /. interval) in
+    if pos + per_window > n then List.rev acc
+    else begin
+      let segment = Probe.Trace.sub trace ~pos ~len:per_window in
+      let last = segment.Probe.Trace.records.(per_window - 1).Probe.Trace.send_time in
+      let sample =
+        if Identify.identifiable segment then begin
+          let r = Identify.run ~params ~rng segment in
+          {
+            at = last;
+            conclusion = Some r.Identify.conclusion;
+            f_at_two_d_star = r.Identify.wdcl.Tests.f_at_two_d_star;
+            loss_rate = r.Identify.loss_rate;
+          }
+        end
+        else
+          {
+            at = last;
+            conclusion = None;
+            f_at_two_d_star = Float.nan;
+            loss_rate = Probe.Trace.loss_rate segment;
+          }
+      in
+      walk (t +. stride) (sample :: acc)
+    end
+  in
+  walk 0. []
+
+let changes samples =
+  let rec collapse prev acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        if prev = None || Some s.conclusion <> prev then
+          collapse (Some s.conclusion) ((s.at, s.conclusion) :: acc) rest
+        else collapse prev acc rest
+  in
+  collapse None [] samples

@@ -1,0 +1,34 @@
+(** Sliding-window identification: continuous monitoring of a path's
+    congestion structure.
+
+    The paper identifies a DCL from one offline probing window; a
+    network operator, however, wants to watch the structure evolve —
+    e.g. to notice when a second link becomes congested and the path
+    stops having a dominant congested link.  This module re-runs the
+    identification pipeline over a window sliding along the trace and
+    reports the sequence of conclusions. *)
+
+type sample = {
+  at : float;  (** send time of the window's last probe *)
+  conclusion : Identify.conclusion option;
+      (** [None] when the window was not identifiable (no loss or no
+          delay spread) *)
+  f_at_two_d_star : float;  (** WDCL statistic; [nan] when unidentifiable *)
+  loss_rate : float;
+}
+
+val scan :
+  ?params:Identify.params ->
+  rng:Stats.Rng.t ->
+  window:float ->
+  stride:float ->
+  Probe.Trace.t ->
+  sample list
+(** [scan ~rng ~window ~stride trace] evaluates the identification on
+    [\[t, t + window\]] for [t = 0, stride, 2*stride, ...] (times
+    relative to the trace start) and returns one sample per window, in
+    order.  Requires [0 < stride] and [0 < window <= duration]. *)
+
+val changes : sample list -> (float * Identify.conclusion option) list
+(** Collapse a scan to its change points: the first sample and every
+    sample whose conclusion differs from its predecessor's. *)

@@ -1,0 +1,44 @@
+type verdict = Accept | Reject
+
+type outcome = {
+  verdict : verdict;
+  d_star : int;
+  two_d_star : int;
+  f_at_two_d_star : float;
+  threshold : float;
+}
+
+let default_tolerance = 0.005
+
+(* Shared scaffolding: find d_star (smallest symbol with F >= 1/2,
+   1-based) and evaluate F at ceil((1 + 1/x) * d_star), which is the
+   paper's "2 d_star" when the generalization parameter x is 1; then
+   compare against [threshold]. *)
+let run_test vqd ~threshold ~delay_factor =
+  if delay_factor <= 0. then invalid_arg "Tests: delay_factor must be positive";
+  let d_star0 = Vqd.quantile_symbol vqd 0.5 in
+  let d_star = d_star0 + 1 in
+  let two_d_star =
+    int_of_float (ceil ((1. +. (1. /. delay_factor)) *. float_of_int d_star))
+  in
+  let f = Vqd.cdf_at vqd (two_d_star - 1) in
+  {
+    verdict = (if f >= threshold then Accept else Reject);
+    d_star;
+    two_d_star;
+    f_at_two_d_star = f;
+    threshold;
+  }
+
+let sdcl ?(tolerance = default_tolerance) ?(delay_factor = 1.) vqd =
+  run_test vqd ~threshold:(1. -. tolerance) ~delay_factor
+
+let wdcl ?(tolerance = default_tolerance) ?(delay_factor = 1.) ~beta ~eps vqd =
+  if beta < 0. || beta >= 0.5 then invalid_arg "Tests.wdcl: beta must be in [0, 1/2)";
+  if eps < 0. || eps > 1. then invalid_arg "Tests.wdcl: eps must be in [0, 1]";
+  run_test vqd ~threshold:(((1. -. beta) *. (1. -. eps)) -. tolerance) ~delay_factor
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s (d*=%d, F(2d*=%d)=%.4f, threshold=%.4f)"
+    (match o.verdict with Accept -> "accept" | Reject -> "reject")
+    o.d_star o.two_d_star o.f_at_two_d_star o.threshold

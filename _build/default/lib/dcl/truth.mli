@@ -1,0 +1,37 @@
+(** Ground-truth characterization of a trace's loss/delay regime from
+    its virtual-probe records — the role ns internals play in the
+    paper's validation.  Only meaningful for traces produced by the
+    simulator (records carry [truth]). *)
+
+type regime =
+  | Strong  (** one hop takes (essentially) all losses and dominates delays *)
+  | Weak of { hop : int; loss_share : float }
+  | No_dominant
+
+val loss_shares : Probe.Trace.t -> hop_count:int -> float array
+(** Fraction of loss marks per path hop; zeros when there are no
+    losses. *)
+
+val dominant_hop : Probe.Trace.t -> hop_count:int -> (int * float) option
+(** Hop with the largest loss share, if any loss occurred. *)
+
+val delay_condition_fraction : Probe.Trace.t -> hop:int -> float
+(** Among loss-marked probes lost at [hop], the fraction whose recorded
+    queuing delay at [hop] is at least the sum over all other hops —
+    the delay condition of Definitions 1–2 evaluated on the lost
+    probes.  1.0 when there is no such probe. *)
+
+val classify :
+  ?strong_share:float ->
+  ?weak_share:float ->
+  ?delay_fraction:float ->
+  Probe.Trace.t ->
+  hop_count:int ->
+  regime
+(** Classify the regime: [Strong] when some hop has loss share at least
+    [strong_share] (default 0.995) and delay-condition fraction at
+    least [delay_fraction] (default 0.995); [Weak] when some hop has
+    share at least [weak_share] (default 0.75); otherwise
+    [No_dominant].  Traces without losses are [No_dominant]. *)
+
+val pp_regime : Format.formatter -> regime -> unit

@@ -1,0 +1,349 @@
+type t = {
+  n : int;
+  m : int;
+  pi : float array;
+  a : float array array;
+  b : float array array;
+  c : float array;
+}
+
+type observation = int option
+type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+let clamp_prob p = Float.max 1e-6 (Float.min (1. -. 1e-6) p)
+
+let init_random rng ~n ~m ~loss_fraction =
+  if n <= 0 || m <= 0 then invalid_arg "Hmm.init_random: n and m must be positive";
+  let jitter () = 0.8 +. (0.4 *. Stats.Rng.float rng) in
+  {
+    n;
+    m;
+    pi = Stats.Sampler.dirichlet_like rng n;
+    a = Stats.Matrix.random_stochastic rng n n;
+    b = Stats.Matrix.random_stochastic rng n m;
+    c = Array.init m (fun _ -> clamp_prob (loss_fraction *. jitter ()));
+  }
+
+(* See Mmhd.neighbor_attribution: empirical loss-to-symbol attribution
+   used to seed [c]. *)
+let neighbor_attribution ~m obs =
+  let tt = Array.length obs in
+  let seen = Array.make m 1. and lost = Array.make m 0.5 in
+  let nearest t0 =
+    let rec scan d =
+      if d > tt then None
+      else
+        let back = t0 - d and fwd = t0 + d in
+        let pick t = if t >= 0 && t < tt then obs.(t) else None in
+        match pick back with
+        | Some j -> Some j
+        | None -> ( match pick fwd with Some j -> Some j | None -> scan (d + 1))
+    in
+    scan 1
+  in
+  Array.iteri
+    (fun t o ->
+      match o with
+      | Some j -> seen.(j) <- seen.(j) +. 1.
+      | None -> (
+          match nearest t with
+          | Some j -> lost.(j) <- lost.(j) +. 1.
+          | None -> ()))
+    obs;
+  (seen, lost)
+
+let init_informed rng ~n ~m obs =
+  let seen, lost = neighbor_attribution ~m obs in
+  let jitter () = 0.85 +. (0.3 *. Stats.Rng.float rng) in
+  let c = Array.init m (fun j -> clamp_prob (lost.(j) /. (seen.(j) +. lost.(j)))) in
+  (* Tilt each state's emissions toward a different end of the symbol
+     axis: identical rows are a saddle point of the likelihood from
+     which EM cannot separate the hidden states. *)
+  let tilt i j =
+    if n = 1 || m = 1 then 1.
+    else
+      let dir = (2. *. float_of_int i /. float_of_int (n - 1)) -. 1. in
+      let pos = (2. *. float_of_int j /. float_of_int (m - 1)) -. 1. in
+      exp (1.2 *. dir *. pos)
+  in
+  let b = Array.init n (fun i -> Array.init m (fun j -> seen.(j) *. tilt i j *. jitter ())) in
+  Stats.Matrix.row_normalize b;
+  {
+    n;
+    m;
+    pi = Stats.Sampler.dirichlet_like rng n;
+    a = Stats.Matrix.random_stochastic rng n n;
+    b;
+    c;
+  }
+
+let is_prob_vector v = Array.for_all (fun p -> p >= 0. && p <= 1.) v
+
+let validate t =
+  let stochastic_vec v = abs_float (Array.fold_left ( +. ) 0. v -. 1.) <= 1e-6 in
+  if Array.length t.pi <> t.n || not (stochastic_vec t.pi) || not (is_prob_vector t.pi)
+  then invalid_arg "Hmm.validate: pi is not a distribution over n states";
+  if Stats.Matrix.dims t.a <> (t.n, t.n) || not (Stats.Matrix.is_stochastic t.a) then
+    invalid_arg "Hmm.validate: a is not an n-by-n stochastic matrix";
+  if Stats.Matrix.dims t.b <> (t.n, t.m) || not (Stats.Matrix.is_stochastic t.b) then
+    invalid_arg "Hmm.validate: b is not an n-by-m stochastic matrix";
+  if Array.length t.c <> t.m || not (is_prob_vector t.c) then
+    invalid_arg "Hmm.validate: c is not a vector of m probabilities"
+
+(* Emission probability of observation [o] in hidden state [i]:
+     e_i(Some j) = b_i(j) * (1 - c_j)
+     e_i(None)   = sum_j b_i(j) * c_j                                  *)
+let emission t i = function
+  | Some j -> t.b.(i).(j) *. (1. -. t.c.(j))
+  | None ->
+      let acc = ref 0. in
+      for j = 0 to t.m - 1 do
+        acc := !acc +. (t.b.(i).(j) *. t.c.(j))
+      done;
+      !acc
+
+(* Scaled forward-backward (Rabiner's \hat{alpha}/\hat{beta}); returns
+   (alpha, beta, scales).  gamma_t(i) = alpha_t(i) * beta_t(i) under
+   this scaling. *)
+let forward_backward t obs =
+  let tt = Array.length obs in
+  if tt = 0 then invalid_arg "Hmm: empty observation sequence";
+  let n = t.n in
+  let alpha = Array.make_matrix tt n 0. in
+  let beta = Array.make_matrix tt n 0. in
+  let scale = Array.make tt 0. in
+  (* Forward. *)
+  let s0 = ref 0. in
+  for i = 0 to n - 1 do
+    let v = t.pi.(i) *. emission t i obs.(0) in
+    alpha.(0).(i) <- v;
+    s0 := !s0 +. v
+  done;
+  if !s0 <= 0. then failwith "Hmm: observation has zero likelihood under the model";
+  scale.(0) <- !s0;
+  for i = 0 to n - 1 do
+    alpha.(0).(i) <- alpha.(0).(i) /. !s0
+  done;
+  for time = 1 to tt - 1 do
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (alpha.(time - 1).(k) *. t.a.(k).(i))
+      done;
+      let v = !acc *. emission t i obs.(time) in
+      alpha.(time).(i) <- v;
+      s := !s +. v
+    done;
+    if !s <= 0. then failwith "Hmm: observation has zero likelihood under the model";
+    scale.(time) <- !s;
+    for i = 0 to n - 1 do
+      alpha.(time).(i) <- alpha.(time).(i) /. !s
+    done
+  done;
+  (* Backward. *)
+  for i = 0 to n - 1 do
+    beta.(tt - 1).(i) <- 1.
+  done;
+  for time = tt - 2 downto 0 do
+    for i = 0 to n - 1 do
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (t.a.(i).(k) *. emission t k obs.(time + 1) *. beta.(time + 1).(k))
+      done;
+      beta.(time).(i) <- !acc /. scale.(time + 1)
+    done
+  done;
+  (alpha, beta, scale)
+
+let viterbi t obs =
+  let tt = Array.length obs in
+  if tt = 0 then invalid_arg "Hmm.viterbi: empty observation sequence";
+  let n = t.n in
+  let log_safe x = if x <= 0. then neg_infinity else log x in
+  let delta = Array.make_matrix tt n neg_infinity in
+  let back = Array.make_matrix tt n 0 in
+  for i = 0 to n - 1 do
+    delta.(0).(i) <- log_safe t.pi.(i) +. log_safe (emission t i obs.(0))
+  done;
+  for time = 1 to tt - 1 do
+    for i = 0 to n - 1 do
+      let e = log_safe (emission t i obs.(time)) in
+      for k = 0 to n - 1 do
+        let cand = delta.(time - 1).(k) +. log_safe t.a.(k).(i) +. e in
+        if cand > delta.(time).(i) then begin
+          delta.(time).(i) <- cand;
+          back.(time).(i) <- k
+        end
+      done
+    done
+  done;
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if delta.(tt - 1).(i) > delta.(tt - 1).(!best) then best := i
+  done;
+  let path = Array.make tt 0 in
+  path.(tt - 1) <- !best;
+  for time = tt - 2 downto 0 do
+    path.(time) <- back.(time + 1).(path.(time + 1))
+  done;
+  (path, delta.(tt - 1).(!best))
+
+let log_likelihood t obs =
+  let _, _, scale = forward_backward t obs in
+  Array.fold_left (fun acc s -> acc +. log s) 0. scale
+
+let state_posteriors t obs =
+  let alpha, beta, _ = forward_backward t obs in
+  Array.mapi (fun time a_row -> Array.mapi (fun i a_i -> a_i *. beta.(time).(i)) a_row) alpha
+
+(* Posterior of the missing symbol given hidden state i and a loss:
+   w(i,j) = b_i(j) c_j / e_i(None).  Time-independent. *)
+let loss_symbol_weights t =
+  Array.init t.n (fun i ->
+      let e_loss = emission t i None in
+      Array.init t.m (fun j ->
+          if e_loss <= 0. then 0. else t.b.(i).(j) *. t.c.(j) /. e_loss))
+
+(* One EM iteration; returns the re-estimated model. *)
+let em_step t obs =
+  let tt = Array.length obs in
+  let n = t.n and m = t.m in
+  let alpha, beta, scale = forward_backward t obs in
+  let gamma time i = alpha.(time).(i) *. beta.(time).(i) in
+  let w = loss_symbol_weights t in
+  (* Transition statistics. *)
+  let xi_sum = Stats.Matrix.make n n 0. in
+  let gamma_sum = Array.make n 0. in
+  for time = 0 to tt - 2 do
+    for i = 0 to n - 1 do
+      gamma_sum.(i) <- gamma_sum.(i) +. gamma time i;
+      for k = 0 to n - 1 do
+        xi_sum.(i).(k) <-
+          xi_sum.(i).(k)
+          +. alpha.(time).(i) *. t.a.(i).(k)
+             *. emission t k obs.(time + 1)
+             *. beta.(time + 1).(k)
+             /. scale.(time + 1)
+      done
+    done
+  done;
+  (* Emission / loss statistics. *)
+  let count_obs = Stats.Matrix.make n m 0. in
+  let count_loss = Stats.Matrix.make n m 0. in
+  for time = 0 to tt - 1 do
+    match obs.(time) with
+    | Some j ->
+        for i = 0 to n - 1 do
+          count_obs.(i).(j) <- count_obs.(i).(j) +. gamma time i
+        done
+    | None ->
+        for i = 0 to n - 1 do
+          let g = gamma time i in
+          for j = 0 to m - 1 do
+            count_loss.(i).(j) <- count_loss.(i).(j) +. (g *. w.(i).(j))
+          done
+        done
+  done;
+  (* Renormalize: gamma 0 sums to 1 only up to rounding. *)
+  let pi' = Array.init n (fun i -> Float.max 0. (gamma 0 i)) in
+  let pi_sum = Array.fold_left ( +. ) 0. pi' in
+  let pi' = Array.map (fun p -> p /. pi_sum) pi' in
+  let a' =
+    Array.init n (fun i ->
+        Array.init n (fun k ->
+            if gamma_sum.(i) <= 0. then t.a.(i).(k) else xi_sum.(i).(k) /. gamma_sum.(i)))
+  in
+  Stats.Matrix.row_normalize a';
+  let b' =
+    Array.init n (fun i ->
+        let row = Array.init m (fun j -> count_obs.(i).(j) +. count_loss.(i).(j)) in
+        let s = Array.fold_left ( +. ) 0. row in
+        if s <= 0. then Array.copy t.b.(i) else Array.map (fun x -> x /. s) row)
+  in
+  let c' =
+    Array.init m (fun j ->
+        let lost = ref 0. and seen = ref 0. in
+        for i = 0 to n - 1 do
+          lost := !lost +. count_loss.(i).(j);
+          seen := !seen +. count_obs.(i).(j) +. count_loss.(i).(j)
+        done;
+        if !seen <= 0. then t.c.(j) else !lost /. !seen)
+  in
+  { t with pi = pi'; a = a'; b = b'; c = c' }
+
+let param_change old_t new_t =
+  let d1 = Stats.Matrix.max_abs_diff_vec old_t.pi new_t.pi in
+  let d2 = Stats.Matrix.max_abs_diff old_t.a new_t.a in
+  let d3 = Stats.Matrix.max_abs_diff old_t.b new_t.b in
+  let d4 = Stats.Matrix.max_abs_diff_vec old_t.c new_t.c in
+  Float.max (Float.max d1 d2) (Float.max d3 d4)
+
+let fit_from ?(eps = 1e-3) ?(max_iter = 300) t0 obs =
+  let rec iterate t iter =
+    let t' = em_step t obs in
+    let change = param_change t t' in
+    if change <= eps || iter + 1 >= max_iter then
+      (t', { iterations = iter + 1; log_likelihood = log_likelihood t' obs; converged = change <= eps })
+    else iterate t' (iter + 1)
+  in
+  iterate t0 0
+
+let fit ?eps ?max_iter ?(restarts = 2) ~rng ~n ~m obs =
+  if restarts <= 0 then invalid_arg "Hmm.fit: restarts must be positive";
+  (* Every starting point is the data-driven informed initialization
+     with independent jitter, and the best converged attempt wins.
+     Purely random initializations are deliberately not raced by
+     likelihood: the model family admits degenerate optima in which a
+     rarely-observed symbol absorbs all the losses (its loss
+     probability is driven toward 1 at negligible cost), and those
+     optima can dominate the likelihood while being statistically
+     meaningless.  Informed starts are anchored by the neighbour
+     attribution, so comparing them by likelihood is safe. *)
+  let attempt () = fit_from ?eps ?max_iter (init_informed rng ~n ~m obs) obs in
+  let best = ref (attempt ()) in
+  for _ = 2 to restarts do
+    let cand = attempt () in
+    let better =
+      ((snd cand).converged && not (snd !best).converged)
+      || (snd cand).converged = (snd !best).converged
+         && (snd cand).log_likelihood > (snd !best).log_likelihood
+    in
+    if better then best := cand
+  done;
+  !best
+
+let virtual_delay_pmf t obs =
+  let alpha, beta, _ = forward_backward t obs in
+  let w = loss_symbol_weights t in
+  let acc = Array.make t.m 0. in
+  let losses = ref 0 in
+  Array.iteri
+    (fun time o ->
+      match o with
+      | Some _ -> ()
+      | None ->
+          incr losses;
+          for i = 0 to t.n - 1 do
+            let g = alpha.(time).(i) *. beta.(time).(i) in
+            for j = 0 to t.m - 1 do
+              acc.(j) <- acc.(j) +. (g *. w.(i).(j))
+            done
+          done)
+    obs;
+  if !losses = 0 then invalid_arg "Hmm.virtual_delay_pmf: no loss in the sequence";
+  Stats.Histogram.normalize acc
+
+let simulate rng t ~len =
+  if len <= 0 then invalid_arg "Hmm.simulate: len <= 0";
+  validate t;
+  let states = Array.make len 0 in
+  let obs = Array.make len None in
+  let state = ref (Stats.Sampler.categorical rng t.pi) in
+  for time = 0 to len - 1 do
+    states.(time) <- !state;
+    let j = Stats.Sampler.categorical rng t.b.(!state) in
+    obs.(time) <- (if Stats.Sampler.bernoulli rng ~p:t.c.(j) then None else Some j);
+    state := Stats.Sampler.categorical rng t.a.(!state)
+  done;
+  (obs, states)

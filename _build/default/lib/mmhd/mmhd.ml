@@ -1,0 +1,348 @@
+type t = {
+  n : int;
+  m : int;
+  pi : float array;
+  a : float array array;
+  c : float array;
+}
+
+type observation = int option
+type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+let states t = t.n * t.m
+
+let state_of t ~hidden ~symbol =
+  if hidden < 0 || hidden >= t.n || symbol < 0 || symbol >= t.m then
+    invalid_arg "Mmhd.state_of: out of range";
+  (hidden * t.m) + symbol
+
+let symbol_of t s = s mod t.m
+let hidden_of t s = s / t.m
+
+let clamp_prob p = Float.max 1e-6 (Float.min (1. -. 1e-6) p)
+
+let init_random rng ~n ~m ~loss_fraction =
+  if n <= 0 || m <= 0 then invalid_arg "Mmhd.init_random: n and m must be positive";
+  let s = n * m in
+  let jitter () = 0.8 +. (0.4 *. Stats.Rng.float rng) in
+  {
+    n;
+    m;
+    pi = Stats.Sampler.dirichlet_like rng s;
+    a = Stats.Matrix.random_stochastic rng s s;
+    c = Array.init m (fun _ -> clamp_prob (loss_fraction *. jitter ()));
+  }
+
+(* Nearest-surviving-neighbour attribution of losses to symbols: the
+   empirical analogue of the posterior the EM will compute.  Seeds the
+   initial loss probabilities [c] so that EM starts near solutions that
+   explain losses with the symbols actually observed around them,
+   instead of drifting to a degenerate optimum where a rarely-observed
+   symbol absorbs all losses. *)
+let neighbor_attribution ~m obs =
+  let tt = Array.length obs in
+  let seen = Array.make m 1. and lost = Array.make m 0.5 in
+  let nearest t0 =
+    let rec scan d =
+      if d > tt then None
+      else
+        let back = t0 - d and fwd = t0 + d in
+        let pick t = if t >= 0 && t < tt then obs.(t) else None in
+        match pick back with
+        | Some j -> Some j
+        | None -> ( match pick fwd with Some j -> Some j | None -> scan (d + 1))
+    in
+    scan 1
+  in
+  Array.iteri
+    (fun t o ->
+      match o with
+      | Some j -> seen.(j) <- seen.(j) +. 1.
+      | None -> (
+          match nearest t with
+          | Some j -> lost.(j) <- lost.(j) +. 1.
+          | None -> ()))
+    obs;
+  (seen, lost)
+
+(* Symbol bigram frequencies over the observed (non-loss) subsequence,
+   Laplace-smoothed; used to seed the transition structure. *)
+let observed_bigrams ~m obs =
+  let big = Array.init m (fun _ -> Array.make m 0.2) in
+  let prev = ref None in
+  Array.iter
+    (fun o ->
+      (match (!prev, o) with
+      | Some i, Some j -> big.(i).(j) <- big.(i).(j) +. 1.
+      | _ -> ());
+      prev := o)
+    obs;
+  Stats.Matrix.row_normalize big;
+  big
+
+let init_informed rng ~n ~m obs =
+  let seen, lost = neighbor_attribution ~m obs in
+  let big = observed_bigrams ~m obs in
+  let s = n * m in
+  let jitter () = 0.85 +. (0.3 *. Stats.Rng.float rng) in
+  let c = Array.init m (fun j -> clamp_prob (lost.(j) /. (seen.(j) +. lost.(j)))) in
+  let total_seen = Array.fold_left ( +. ) 0. seen in
+  let pi =
+    Array.init s (fun st -> seen.(st mod m) /. total_seen /. float_of_int n *. jitter ())
+  in
+  let pi_total = Array.fold_left ( +. ) 0. pi in
+  let pi = Array.map (fun p -> p /. pi_total) pi in
+  let a =
+    Array.init s (fun st ->
+        let y = st mod m in
+        let row =
+          Array.init s (fun st' -> big.(y).(st' mod m) /. float_of_int n *. jitter ())
+        in
+        row)
+  in
+  Stats.Matrix.row_normalize a;
+  { n; m; pi; a; c }
+
+let validate t =
+  let s = states t in
+  let stochastic_vec v = abs_float (Array.fold_left ( +. ) 0. v -. 1.) <= 1e-6 in
+  let is_prob_vector v = Array.for_all (fun p -> p >= 0. && p <= 1.) v in
+  if Array.length t.pi <> s || not (stochastic_vec t.pi) || not (is_prob_vector t.pi)
+  then invalid_arg "Mmhd.validate: pi is not a distribution over n*m states";
+  if Stats.Matrix.dims t.a <> (s, s) || not (Stats.Matrix.is_stochastic t.a) then
+    invalid_arg "Mmhd.validate: a is not stochastic over n*m states";
+  if Array.length t.c <> t.m || not (is_prob_vector t.c) then
+    invalid_arg "Mmhd.validate: c is not a vector of m probabilities"
+
+(* Emission probability of observation [o] in state [s] (symbol y):
+     e(s, Some j) = (1 - c_j) if y = j, else 0
+     e(s, None)   = c_y                                                *)
+let emission t s = function
+  | Some j -> if symbol_of t s = j then 1. -. t.c.(j) else 0.
+  | None -> t.c.(symbol_of t s)
+
+(* States compatible with an observation: n states for an observed
+   symbol, all n*m for a loss.  Iterating only over these makes the
+   forward-backward cost T*n*S on mostly-observed traces instead of
+   T*S^2. *)
+let active t = function
+  | Some j -> Array.init t.n (fun x -> (x * t.m) + j)
+  | None -> Array.init (states t) (fun s -> s)
+
+let forward_backward t obs =
+  let tt = Array.length obs in
+  if tt = 0 then invalid_arg "Mmhd: empty observation sequence";
+  let s_all = states t in
+  let alpha = Array.make_matrix tt s_all 0. in
+  let beta = Array.make_matrix tt s_all 0. in
+  let scale = Array.make tt 0. in
+  let act = Array.map (active t) obs in
+  (* Forward. *)
+  let s0 = ref 0. in
+  Array.iter
+    (fun s ->
+      let v = t.pi.(s) *. emission t s obs.(0) in
+      alpha.(0).(s) <- v;
+      s0 := !s0 +. v)
+    act.(0);
+  if !s0 <= 0. then failwith "Mmhd: observation has zero likelihood under the model";
+  scale.(0) <- !s0;
+  Array.iter (fun s -> alpha.(0).(s) <- alpha.(0).(s) /. !s0) act.(0);
+  for time = 1 to tt - 1 do
+    let sc = ref 0. in
+    Array.iter
+      (fun s' ->
+        let acc = ref 0. in
+        Array.iter (fun s -> acc := !acc +. (alpha.(time - 1).(s) *. t.a.(s).(s'))) act.(time - 1);
+        let v = !acc *. emission t s' obs.(time) in
+        alpha.(time).(s') <- v;
+        sc := !sc +. v)
+      act.(time);
+    if !sc <= 0. then failwith "Mmhd: observation has zero likelihood under the model";
+    scale.(time) <- !sc;
+    Array.iter (fun s -> alpha.(time).(s) <- alpha.(time).(s) /. !sc) act.(time)
+  done;
+  (* Backward. *)
+  Array.iter (fun s -> beta.(tt - 1).(s) <- 1.) act.(tt - 1);
+  for time = tt - 2 downto 0 do
+    Array.iter
+      (fun s ->
+        let acc = ref 0. in
+        Array.iter
+          (fun s' ->
+            acc := !acc +. (t.a.(s).(s') *. emission t s' obs.(time + 1) *. beta.(time + 1).(s')))
+          act.(time + 1);
+        beta.(time).(s) <- !acc /. scale.(time + 1))
+      act.(time)
+  done;
+  (alpha, beta, scale, act)
+
+let viterbi t obs =
+  let tt = Array.length obs in
+  if tt = 0 then invalid_arg "Mmhd.viterbi: empty observation sequence";
+  let s_all = states t in
+  let log_safe x = if x <= 0. then neg_infinity else log x in
+  let act = Array.map (active t) obs in
+  let delta = Array.make_matrix tt s_all neg_infinity in
+  let back = Array.make_matrix tt s_all 0 in
+  Array.iter
+    (fun s -> delta.(0).(s) <- log_safe t.pi.(s) +. log_safe (emission t s obs.(0)))
+    act.(0);
+  for time = 1 to tt - 1 do
+    Array.iter
+      (fun s' ->
+        let e = log_safe (emission t s' obs.(time)) in
+        Array.iter
+          (fun s ->
+            let cand = delta.(time - 1).(s) +. log_safe t.a.(s).(s') +. e in
+            if cand > delta.(time).(s') then begin
+              delta.(time).(s') <- cand;
+              back.(time).(s') <- s
+            end)
+          act.(time - 1))
+      act.(time)
+  done;
+  let best = ref act.(tt - 1).(0) in
+  Array.iter (fun s -> if delta.(tt - 1).(s) > delta.(tt - 1).(!best) then best := s) act.(tt - 1);
+  let path = Array.make tt 0 in
+  path.(tt - 1) <- !best;
+  for time = tt - 2 downto 0 do
+    path.(time) <- back.(time + 1).(path.(time + 1))
+  done;
+  (path, delta.(tt - 1).(!best))
+
+let log_likelihood t obs =
+  let _, _, scale, _ = forward_backward t obs in
+  Array.fold_left (fun acc s -> acc +. log s) 0. scale
+
+let state_posteriors t obs =
+  let alpha, beta, _, _ = forward_backward t obs in
+  Array.mapi (fun time a_row -> Array.mapi (fun s a_s -> a_s *. beta.(time).(s)) a_row) alpha
+
+let em_step t obs =
+  let tt = Array.length obs in
+  let s_all = states t in
+  let alpha, beta, scale, act = forward_backward t obs in
+  let gamma time s = alpha.(time).(s) *. beta.(time).(s) in
+  (* Transition statistics over active pairs. *)
+  let xi_sum = Stats.Matrix.make s_all s_all 0. in
+  let gamma_sum = Array.make s_all 0. in
+  for time = 0 to tt - 2 do
+    Array.iter
+      (fun s ->
+        gamma_sum.(s) <- gamma_sum.(s) +. gamma time s;
+        let a_t_s = alpha.(time).(s) in
+        if a_t_s > 0. then
+          Array.iter
+            (fun s' ->
+              xi_sum.(s).(s') <-
+                xi_sum.(s).(s')
+                +. a_t_s *. t.a.(s).(s')
+                   *. emission t s' obs.(time + 1)
+                   *. beta.(time + 1).(s')
+                   /. scale.(time + 1))
+            act.(time + 1))
+      act.(time)
+  done;
+  (* gamma 0 sums to 1 only up to floating-point rounding; renormalize
+     so the result always validates. *)
+  let pi' = Array.init s_all (fun s -> Float.max 0. (gamma 0 s)) in
+  let pi_sum = Array.fold_left ( +. ) 0. pi' in
+  let pi' = Array.map (fun p -> p /. pi_sum) pi' in
+  let a' =
+    Array.init s_all (fun s ->
+        Array.init s_all (fun s' ->
+            if gamma_sum.(s) <= 0. then t.a.(s).(s') else xi_sum.(s).(s') /. gamma_sum.(s)))
+  in
+  Stats.Matrix.row_normalize a';
+  (* Loss probabilities: expected losses with symbol y over expected
+     visits to symbol y. *)
+  let lost = Array.make t.m 0. and seen = Array.make t.m 0. in
+  for time = 0 to tt - 1 do
+    Array.iter
+      (fun s ->
+        let g = gamma time s in
+        let y = symbol_of t s in
+        seen.(y) <- seen.(y) +. g;
+        if obs.(time) = None then lost.(y) <- lost.(y) +. g)
+      act.(time)
+  done;
+  let c' = Array.init t.m (fun y -> if seen.(y) <= 0. then t.c.(y) else lost.(y) /. seen.(y)) in
+  { t with pi = pi'; a = a'; c = c' }
+
+let param_change old_t new_t =
+  let d1 = Stats.Matrix.max_abs_diff_vec old_t.pi new_t.pi in
+  let d2 = Stats.Matrix.max_abs_diff old_t.a new_t.a in
+  let d3 = Stats.Matrix.max_abs_diff_vec old_t.c new_t.c in
+  Float.max d1 (Float.max d2 d3)
+
+let fit_from ?(eps = 1e-3) ?(max_iter = 300) t0 obs =
+  let rec iterate t iter =
+    let t' = em_step t obs in
+    let change = param_change t t' in
+    if change <= eps || iter + 1 >= max_iter then
+      ( t',
+        {
+          iterations = iter + 1;
+          log_likelihood = log_likelihood t' obs;
+          converged = change <= eps;
+        } )
+    else iterate t' (iter + 1)
+  in
+  iterate t0 0
+
+let fit ?eps ?max_iter ?(restarts = 2) ~rng ~n ~m obs =
+  if restarts <= 0 then invalid_arg "Mmhd.fit: restarts must be positive";
+  (* Every starting point is the data-driven informed initialization
+     with independent jitter, and the best converged attempt wins.
+     Purely random initializations are deliberately not raced by
+     likelihood: the model family admits degenerate optima in which a
+     rarely-observed symbol absorbs all the losses (its loss
+     probability is driven toward 1 at negligible cost), and those
+     optima can dominate the likelihood while being statistically
+     meaningless.  Informed starts are anchored by the neighbour
+     attribution, so comparing them by likelihood is safe. *)
+  let attempt () = fit_from ?eps ?max_iter (init_informed rng ~n ~m obs) obs in
+  let best = ref (attempt ()) in
+  for _ = 2 to restarts do
+    let cand = attempt () in
+    let better =
+      ((snd cand).converged && not (snd !best).converged)
+      || (snd cand).converged = (snd !best).converged
+         && (snd cand).log_likelihood > (snd !best).log_likelihood
+    in
+    if better then best := cand
+  done;
+  !best
+
+let virtual_delay_pmf t obs =
+  let alpha, beta, _, _ = forward_backward t obs in
+  let acc = Array.make t.m 0. in
+  let losses = ref 0 in
+  Array.iteri
+    (fun time o ->
+      match o with
+      | Some _ -> ()
+      | None ->
+          incr losses;
+          for s = 0 to states t - 1 do
+            let g = alpha.(time).(s) *. beta.(time).(s) in
+            acc.(symbol_of t s) <- acc.(symbol_of t s) +. g
+          done)
+    obs;
+  if !losses = 0 then invalid_arg "Mmhd.virtual_delay_pmf: no loss in the sequence";
+  Stats.Histogram.normalize acc
+
+let simulate rng t ~len =
+  if len <= 0 then invalid_arg "Mmhd.simulate: len <= 0";
+  validate t;
+  let path = Array.make len 0 in
+  let obs = Array.make len None in
+  let state = ref (Stats.Sampler.categorical rng t.pi) in
+  for time = 0 to len - 1 do
+    path.(time) <- !state;
+    let y = symbol_of t !state in
+    obs.(time) <- (if Stats.Sampler.bernoulli rng ~p:t.c.(y) then None else Some y);
+    state := Stats.Sampler.categorical rng t.a.(!state)
+  done;
+  (obs, path)

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Float Packet Queue Red Sim Stats Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Hashtbl Link List Packet Printf Queue Red Sim Stdlib

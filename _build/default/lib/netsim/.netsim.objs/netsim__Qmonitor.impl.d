@@ -1,0 +1,1 @@
+lib/netsim/qmonitor.ml: Array Float Link List Sim

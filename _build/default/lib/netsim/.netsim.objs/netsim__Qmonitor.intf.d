@@ -1,0 +1,1 @@
+lib/netsim/qmonitor.mli: Link Sim

@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Eventq Float Printf Stats

@@ -1,0 +1,1 @@
+lib/netsim/tracefile.ml: Array Fun Hashtbl Link List Option Packet Printf Sim String

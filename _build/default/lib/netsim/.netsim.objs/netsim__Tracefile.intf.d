@@ -1,0 +1,1 @@
+lib/netsim/tracefile.mli: Link Sim

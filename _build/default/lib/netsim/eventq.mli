@@ -1,0 +1,18 @@
+(** Pending-event set of the discrete-event engine: a binary min-heap
+    keyed by ([time], [seq]) where [seq] is an insertion counter, so
+    simultaneous events fire in insertion order and runs are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at absolute time [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, if any. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,37 @@
+type t = {
+  sim : Sim.t;
+  link : Link.t;
+  interval : float;
+  mutable samples_rev : (float * float) list;
+}
+
+let create sim link ~interval =
+  if interval <= 0. then invalid_arg "Qmonitor.create: interval <= 0";
+  { sim; link; interval; samples_rev = [] }
+
+let start t ~at ~until =
+  if until <= at then invalid_arg "Qmonitor.start: empty window";
+  let n = int_of_float (ceil ((until -. at) /. t.interval)) in
+  for i = 0 to n - 1 do
+    let time = at +. (float_of_int i *. t.interval) in
+    if time < until then
+      Sim.at t.sim time (fun () ->
+          t.samples_rev <- (time, Link.unfinished_work t.link) :: t.samples_rev)
+  done
+
+let samples t = Array.of_list (List.rev t.samples_rev)
+
+let fold f init t = List.fold_left f init t.samples_rev
+
+let mean_backlog t =
+  let n = List.length t.samples_rev in
+  if n = 0 then 0. else fold (fun acc (_, w) -> acc +. w) 0. t /. float_of_int n
+
+let max_backlog t = fold (fun acc (_, w) -> Float.max acc w) 0. t
+
+let fraction_above t ~threshold =
+  let n = List.length t.samples_rev in
+  if n = 0 then 0.
+  else
+    float_of_int (fold (fun acc (_, w) -> if w >= threshold then acc + 1 else acc) 0 t)
+    /. float_of_int n

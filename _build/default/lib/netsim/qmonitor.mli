@@ -1,0 +1,22 @@
+(** Periodic sampling of a link's queue state — the simulator-side
+    instrument behind utilization/occupancy reports (what the paper
+    reads out of ns traces). *)
+
+type t
+
+val create : Sim.t -> Link.t -> interval:float -> t
+(** Sample the link every [interval] seconds once started. *)
+
+val start : t -> at:float -> until:float -> unit
+
+val samples : t -> (float * float) array
+(** (time, unfinished work in seconds) samples, in time order. *)
+
+val mean_backlog : t -> float
+(** Mean sampled unfinished work, seconds. *)
+
+val max_backlog : t -> float
+
+val fraction_above : t -> threshold:float -> float
+(** Fraction of samples with unfinished work at least [threshold]
+    seconds — e.g. the fraction of time the queue is near-full. *)

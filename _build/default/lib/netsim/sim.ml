@@ -1,0 +1,65 @@
+type t = {
+  mutable now : float;
+  events : (unit -> unit) Eventq.t;
+  rng : Stats.Rng.t;
+  mutable next_packet_id : int;
+  mutable next_flow_id : int;
+}
+
+let create ?(seed = 1) () =
+  {
+    now = 0.;
+    events = Eventq.create ();
+    rng = Stats.Rng.create seed;
+    next_packet_id = 0;
+    next_flow_id = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let at t time f =
+  if time < t.now -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Sim.at: scheduling in the past (%.9f < %.9f)" time t.now);
+  Eventq.push t.events ~time:(Float.max time t.now) f
+
+let after t d f =
+  if d < 0. then invalid_arg "Sim.after: negative delay";
+  at t (t.now +. d) f
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Eventq.peek_time t.events with
+    | Some time when time <= horizon -> (
+        match Eventq.pop t.events with
+        | Some (time, f) ->
+            t.now <- time;
+            f ()
+        | None -> continue := false)
+    | Some _ | None -> continue := false
+  done;
+  t.now <- Float.max t.now horizon
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    match Eventq.pop t.events with
+    | Some (time, f) ->
+        t.now <- time;
+        f ()
+    | None -> continue := false
+  done
+
+let pending t = Eventq.length t.events
+
+let fresh_packet_id t =
+  let id = t.next_packet_id in
+  t.next_packet_id <- id + 1;
+  id
+
+let fresh_flow_id t =
+  let id = t.next_flow_id in
+  t.next_flow_id <- id + 1;
+  id

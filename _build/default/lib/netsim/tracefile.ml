@@ -1,0 +1,119 @@
+type event_kind = Enqueue | Dequeue | Drop | Receive
+
+type event = {
+  kind : event_kind;
+  time : float;
+  from_node : int;
+  to_node : int;
+  packet_type : string;
+  size : int;
+  flow : int;
+  src : int;
+  dst : int;
+  seq : int;
+  packet_id : int;
+}
+
+type t = { mutable events_rev : event list; mutable count : int }
+
+let create () = { events_rev = []; count = 0 }
+
+let record t kind ~time ~from_node ~to_node (pkt : Packet.t) =
+  let packet_type =
+    match pkt.Packet.kind with
+    | Packet.Udp -> "cbr"
+    | Packet.Tcp_data -> "tcp"
+    | Packet.Tcp_ack -> "ack"
+    | Packet.Icmp_ttl_exceeded -> "icmp"
+  in
+  t.events_rev <-
+    {
+      kind;
+      time;
+      from_node;
+      to_node;
+      packet_type;
+      size = pkt.Packet.size;
+      flow = pkt.Packet.flow;
+      src = pkt.Packet.src;
+      dst = pkt.Packet.dst;
+      seq = pkt.Packet.seq;
+      packet_id = pkt.Packet.id;
+    }
+    :: t.events_rev;
+  t.count <- t.count + 1
+
+let attach t sim link =
+  let from_node = Link.src link and to_node = Link.dst link in
+  let log kind pkt = record t kind ~time:(Sim.now sim) ~from_node ~to_node pkt in
+  Link.set_on_accept link (log Enqueue);
+  Link.set_on_transmit link (log Dequeue);
+  Link.set_on_drop link (log Drop);
+  Link.add_deliver_observer link (log Receive)
+
+let events t = Array.of_list (List.rev t.events_rev)
+let count t = t.count
+
+let kind_char = function Enqueue -> '+' | Dequeue -> '-' | Drop -> 'd' | Receive -> 'r'
+
+let kind_of_char = function
+  | '+' -> Enqueue
+  | '-' -> Dequeue
+  | 'd' -> Drop
+  | 'r' -> Receive
+  | c -> failwith (Printf.sprintf "Tracefile: unknown event %c" c)
+
+let save t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%c %.6f %d %d %s %d ---- %d %d.0 %d.0 %d %d\n"
+            (kind_char e.kind) e.time e.from_node e.to_node e.packet_type e.size e.flow
+            e.src e.dst e.seq e.packet_id)
+        (List.rev t.events_rev))
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ ev; time; from_node; to_node; ptype; size; _flags; flow; src; dst; seq; pid ]
+             ->
+               let node_of s = int_of_float (float_of_string s) in
+               out :=
+                 {
+                   kind = kind_of_char ev.[0];
+                   time = float_of_string time;
+                   from_node = int_of_string from_node;
+                   to_node = int_of_string to_node;
+                   packet_type = ptype;
+                   size = int_of_string size;
+                   flow = int_of_string flow;
+                   src = node_of src;
+                   dst = node_of dst;
+                   seq = int_of_string seq;
+                   packet_id = int_of_string pid;
+                 }
+                 :: !out
+           | _ -> failwith "Tracefile.load: malformed line"
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !out))
+
+let drops_per_flow events =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      if e.kind = Drop then
+        Hashtbl.replace tbl e.flow (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.flow)))
+    events;
+  Hashtbl.fold (fun flow n acc -> (flow, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

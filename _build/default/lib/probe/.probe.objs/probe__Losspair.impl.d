@@ -1,0 +1,1 @@
+lib/probe/losspair.ml: Array Float Link List Net Netsim Shadow Sim Stats

@@ -1,0 +1,1 @@
+lib/probe/losspair.mli: Netsim

@@ -1,0 +1,1 @@
+lib/probe/prober.ml: Array Link List Net Netsim Shadow Sim Stats Trace

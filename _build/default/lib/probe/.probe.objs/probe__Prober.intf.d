@@ -1,0 +1,1 @@
+lib/probe/prober.mli: Netsim Trace

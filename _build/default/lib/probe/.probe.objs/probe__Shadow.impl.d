@@ -1,0 +1,1 @@
+lib/probe/shadow.ml: Array Link List Net Netsim Sim Stats

@@ -1,0 +1,1 @@
+lib/probe/shadow.mli: Netsim Stats

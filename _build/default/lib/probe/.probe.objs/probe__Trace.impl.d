@@ -1,0 +1,1 @@
+lib/probe/trace.ml: Array Float Fun List Printf Stats String

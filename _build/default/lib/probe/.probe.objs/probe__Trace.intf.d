@@ -1,0 +1,1 @@
+lib/probe/trace.mli: Stats

@@ -1,0 +1,1 @@
+lib/scenarios/internet.ml: Array Clocksync Link List Net Netsim Option Pathchar Printf Probe Sim Stats Traffic

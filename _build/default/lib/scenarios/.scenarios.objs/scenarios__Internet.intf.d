@@ -1,0 +1,1 @@
+lib/scenarios/internet.mli: Pathchar Probe

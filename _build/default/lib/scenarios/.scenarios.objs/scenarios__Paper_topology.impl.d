@@ -1,0 +1,1 @@
+lib/scenarios/paper_topology.ml: Array Link Net Netsim Printf Probe Sim Stats Traffic

@@ -1,0 +1,1 @@
+lib/scenarios/paper_topology.mli: Netsim Probe

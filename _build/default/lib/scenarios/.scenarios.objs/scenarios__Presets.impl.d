@@ -1,0 +1,1 @@
+lib/scenarios/presets.ml: Array Float Netsim Paper_topology

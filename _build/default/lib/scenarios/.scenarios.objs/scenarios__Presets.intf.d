@@ -1,0 +1,1 @@
+lib/scenarios/presets.mli: Paper_topology

@@ -1,0 +1,65 @@
+(** The paper's ns topology (Fig. 4): a chain of four routers
+    [r1 - r2 - r3 - r4] with three backbone links [L1, L2, L3], a probe
+    sender [s0] attached to [r1] and a receiver [d0] attached to [r4].
+    Per-link cross traffic flows from [r_i] to [r_(i+1)] (FTP, HTTP
+    sessions, UDP on-off, CBR in any mix), so each backbone link's
+    congestion is controlled independently.  Periodic probes (and
+    optionally loss pairs) run from [s0] to [d0]. *)
+
+type link_config = {
+  bandwidth : float;  (** bits/s *)
+  capacity : int;  (** buffer, bytes *)
+  queue : Netsim.Net.queue_spec;
+}
+
+type cross_config = {
+  ftp_flows : int;
+  http_sessions_per_s : float;  (** 0 disables *)
+  onoff_rate : float;  (** bits/s during ON; 0 disables *)
+  onoff_mean_on : float;
+  onoff_mean_off : float;
+  cbr_rate : float;  (** bits/s; 0 disables *)
+  pulse_rate : float;  (** bits/s during a pulse; 0 disables *)
+  pulse_on : float;  (** pulse duration, seconds *)
+  pulse_period : float;  (** pulse period, seconds *)
+}
+
+val no_cross : cross_config
+
+type config = {
+  seed : int;
+  backbone : link_config array;  (** exactly 3: L1, L2, L3 *)
+  cross : cross_config array;  (** exactly 3, matching the links *)
+  probe_interval : float;
+  warmup : float;  (** traffic-only time before probing starts *)
+  duration : float;  (** probing time *)
+  with_loss_pairs : bool;
+  pair_interval : float;
+}
+
+val default_config : config
+(** 20 ms probes, 40 ms pair spacing, 30 s warmup, 300 s duration, no
+    cross traffic — a template to override. *)
+
+type link_report = {
+  label : string;
+  loss_rate : float;
+  utilization : float;
+  q_max : float;  (** the link's maximum queuing delay [Q_k], seconds *)
+  arrivals : int;
+  drops : int;
+}
+
+type outcome = {
+  trace : Probe.Trace.t;
+  reports : link_report array;  (** one per backbone link *)
+  backbone_hops : int array;
+      (** probe-path hop index of each backbone link (for matching
+          ground-truth loss marks to links) *)
+  loss_pair_samples : float array;
+  loss_pair_estimate : float option;
+}
+
+val run : config -> outcome
+(** Build the network, start the cross traffic, probe during
+    [\[warmup, warmup + duration\]], and collect everything. *)

@@ -1,0 +1,148 @@
+open Paper_topology
+
+(* The presets mirror the structure of the paper's Tables II-IV:
+
+   - strongly: only L3 loses packets; L1/L2 are fast links with light,
+     loss-free cross traffic, so the virtual queuing delay of lost
+     probes concentrates at the top of the observed delay range and
+     SDCL-Test accepts (paper Fig. 5).
+   - weakly: the dominant link is L1 (0.7 Mb/s, Q_max ~0.3 s, an FTP
+     sawtooth periodically filling the buffer) taking ~19 of 20 losses;
+     L3 (0.2 Mb/s, Q_max ~1 s, light web traffic) loses occasionally,
+     putting a small mass at high delay symbols — SDCL-Test rejects
+     (F at 2*d_star ~0.95 < 1) while WDCL-Test with beta = 0.06
+     accepts, the paper's worked example (Section VI-A2).
+   - no_dcl: same two lossy links, but L3's web traffic is heavy
+     enough that the two loss shares are comparable (~60/40).  Since
+     Q_max of L3 is ~3x that of L1, nearly half of the virtual delays
+     land beyond 2*d_star and WDCL-Test rejects (Section VI-A3).
+
+   The weakly and no-DCL presets differ only in the secondary link's
+   congestion level: the beta = 0.06 loss-share boundary is exactly
+   what separates the two regimes.  Losses arrive in short episodes
+   (FTP sawtooth peaks, HTTP slow-start spikes) flanked by surviving
+   probes whose delays carry the information the EM exploits. *)
+
+let mk_link ~bw ~cap = { bandwidth = bw; capacity = cap; queue = Netsim.Net.Droptail_q }
+
+(* Loss-free cross traffic for a fast (10 Mb/s) link: web sessions and
+   a gentle on-off stream; queues a little, never drops. *)
+let fast_cross =
+  {
+    no_cross with
+    http_sessions_per_s = 2.0;
+    onoff_rate = 2e6;
+    onoff_mean_on = 0.5;
+    onoff_mean_off = 0.5;
+  }
+
+(* Bursty but loss-free traffic for the middle 1 Mb/s link with a large
+   buffer: stretches the observed delay range without dropping. *)
+let bursty_middle ~bw =
+  {
+    no_cross with
+    http_sessions_per_s = 0.3;
+    onoff_rate = 2.5 *. bw;
+    onoff_mean_on = 0.12;
+    onoff_mean_off = 1.0;
+  }
+
+(* Closed-loop congestion: an FTP sawtooth that periodically fills the
+   buffer, plus web sessions and a moderate on-off stream. *)
+let ftp_congested ?(ftp = 1) ~bw () =
+  {
+    ftp_flows = ftp;
+    http_sessions_per_s = 0.2;
+    onoff_rate = 0.15 *. bw;
+    onoff_mean_on = 0.5;
+    onoff_mean_off = 1.0;
+    cbr_rate = 0.;
+    pulse_rate = 0.;
+    pulse_on = 0.5;
+    pulse_period = 30.;
+  }
+
+(* Secondary congestion for a weak/comparable second lossy link: a
+   CBR base plus a strong periodic pulse that overflows the buffer once
+   per period for a predictable dwell time.  One episode per period
+   keeps the link's share of losses steady across runs, unlike
+   rare-event-driven designs whose share swings wildly. *)
+let pulsed_congested ~bw ~pulse_on ~period =
+  {
+    no_cross with
+    http_sessions_per_s = 0.005;
+    cbr_rate = 0.25 *. bw;
+    pulse_rate = 4.0 *. bw;
+    pulse_on;
+    pulse_period = period;
+  }
+
+let base ?(seed = 1) ?(duration = 300.) ?(with_loss_pairs = false) () =
+  { default_config with seed; duration; with_loss_pairs }
+
+let strongly_dcl ?seed ?duration ?with_loss_pairs ~bw3 () =
+  let cfg = base ?seed ?duration ?with_loss_pairs () in
+  {
+    cfg with
+    backbone =
+      [|
+        mk_link ~bw:10e6 ~cap:80_000;
+        mk_link ~bw:10e6 ~cap:80_000;
+        mk_link ~bw:bw3 ~cap:20_000;
+      |];
+    cross = [| fast_cross; fast_cross; ftp_congested ~bw:bw3 () |];
+  }
+
+let strongly_dcl_sweep = [ 1e6; 0.7e6; 0.5e6; 0.3e6 ]
+
+let weakly_dcl ?seed ?duration ?with_loss_pairs ?(bw1 = 0.7e6) ?(bw3 = 0.2e6) () =
+  let cfg = base ?seed ?duration ?with_loss_pairs () in
+  {
+    cfg with
+    backbone =
+      [|
+        (* Dominant: moderate Q_max, takes ~95% of the losses. *)
+        mk_link ~bw:bw1 ~cap:25_600;
+        mk_link ~bw:1e6 ~cap:153_600;
+        (* Occasional loser with the larger Q_max. *)
+        mk_link ~bw:bw3 ~cap:25_600;
+      |];
+    cross =
+      [|
+        { (ftp_congested ~ftp:2 ~bw:bw1 ()) with http_sessions_per_s = 0.05; onoff_rate = 0.05 *. bw1 };
+        { (bursty_middle ~bw:1e6) with onoff_rate = 2e6; onoff_mean_on = 0.08 };
+        pulsed_congested ~bw:bw3 ~pulse_on:0.34 ~period:110.;
+      |];
+  }
+
+let weakly_dcl_sweep = [ (0.7e6, 0.2e6); (0.65e6, 0.22e6); (0.7e6, 0.25e6); (0.6e6, 0.2e6) ]
+
+let no_dcl ?seed ?duration ?with_loss_pairs ?(bw1 = 0.7e6) ?(bw3 = 0.2e6) () =
+  let cfg = base ?seed ?duration ?with_loss_pairs () in
+  {
+    cfg with
+    backbone =
+      [|
+        mk_link ~bw:bw1 ~cap:25_600;
+        mk_link ~bw:1e6 ~cap:153_600;
+        mk_link ~bw:bw3 ~cap:25_600;
+      |];
+    cross =
+      [|
+        { (ftp_congested ~ftp:2 ~bw:bw1 ()) with http_sessions_per_s = 0.05; onoff_rate = 0.05 *. bw1 };
+        { (bursty_middle ~bw:1e6) with onoff_rate = 2e6; onoff_mean_on = 0.08 };
+        pulsed_congested ~bw:bw3 ~pulse_on:0.47 ~period:17.;
+      |];
+  }
+
+let no_dcl_sweep = [ (0.7e6, 0.2e6); (0.6e6, 0.2e6); (0.7e6, 0.25e6); (0.6e6, 0.25e6) ]
+
+let with_red ~min_th_frac cfg =
+  let red_of (lc : link_config) =
+    (* Thresholds in packets, capacity assumed to hold 1000-byte
+       cross-traffic packets (plus headers). *)
+    let buffer_pkts = float_of_int lc.capacity /. 1040. in
+    let min_th = Float.max 1. (min_th_frac *. buffer_pkts) in
+    { lc with queue = Netsim.Net.Red_q { min_th; max_th = 3. *. min_th } }
+  in
+  { cfg with backbone = Array.map red_of cfg.backbone }

@@ -1,0 +1,55 @@
+(** Ready-made parameterizations of {!Paper_topology} matching the
+    three regimes of the paper's Section VI-A (Tables II–IV) and the
+    adaptive-RED variants of Section VI-A5 (Figs. 10–11).
+
+    Absolute bandwidths/buffers differ from the paper (its exact unit
+    conventions are not recoverable from the text); what is preserved
+    is the structure: which links lose packets, the ordering of loss
+    shares, loss rates of a few percent, and maximum queuing delays of
+    tens to hundreds of milliseconds. *)
+
+val strongly_dcl :
+  ?seed:int ->
+  ?duration:float ->
+  ?with_loss_pairs:bool ->
+  bw3:float ->
+  unit ->
+  Paper_topology.config
+(** Losses only at L3 (bandwidth [bw3] bits/s, swept in Table II);
+    L1/L2 carry loss-free cross traffic. *)
+
+val strongly_dcl_sweep : float list
+(** The Table II bandwidth sweep for L3, bits/s. *)
+
+val weakly_dcl :
+  ?seed:int ->
+  ?duration:float ->
+  ?with_loss_pairs:bool ->
+  ?bw1:float ->
+  ?bw3:float ->
+  unit ->
+  Paper_topology.config
+(** Two lossy links: L1 with a small loss rate, L3 dominating (about
+    19 of every 20 losses) with the larger maximum queuing delay. *)
+
+val weakly_dcl_sweep : (float * float) list
+(** The Table III (bw1, bw3) sweep, bits/s. *)
+
+val no_dcl :
+  ?seed:int ->
+  ?duration:float ->
+  ?with_loss_pairs:bool ->
+  ?bw1:float ->
+  ?bw3:float ->
+  unit ->
+  Paper_topology.config
+(** L1 and L3 with comparable loss rates: no dominant congested
+    link. *)
+
+val no_dcl_sweep : (float * float) list
+(** The Table IV (bw1, bw3) sweep, bits/s. *)
+
+val with_red : min_th_frac:float -> Paper_topology.config -> Paper_topology.config
+(** Replace every backbone queue by adaptive RED with
+    [min_th = min_th_frac * capacity] (in packets) and
+    [max_th = 3 * min_th] (Figs. 10–11). *)

@@ -1,0 +1,78 @@
+type t = {
+  m : int;
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~m ~lo ~hi =
+  if m <= 0 then invalid_arg "Histogram.create: m <= 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { m; lo; hi; width = (hi -. lo) /. float_of_int m; counts = Array.make m 0; total = 0 }
+
+let bins t = t.m
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.width
+
+let index_of t x =
+  if x <= t.lo then 0
+  else if x >= t.hi then t.m - 1
+  else
+    let j = int_of_float ((x -. t.lo) /. t.width) in
+    if j >= t.m then t.m - 1 else j
+
+let value_of t j = t.lo +. (float_of_int (j + 1) *. t.width)
+
+let add_index t j =
+  if j < 0 || j >= t.m then invalid_arg "Histogram.add_index: bin out of range";
+  t.counts.(j) <- t.counts.(j) + 1;
+  t.total <- t.total + 1
+
+let add t x = add_index t (index_of t x)
+let total t = t.total
+let counts t = Array.copy t.counts
+
+let pmf t =
+  if t.total = 0 then Array.make t.m 0.
+  else
+    let n = float_of_int t.total in
+    Array.map (fun c -> float_of_int c /. n) t.counts
+
+let mode_value t =
+  if t.total = 0 then invalid_arg "Histogram.mode_value: empty histogram";
+  let best = ref 0 in
+  for j = 1 to t.m - 1 do
+    if t.counts.(j) > t.counts.(!best) then best := j
+  done;
+  value_of t !best
+
+let cdf_of_pmf p =
+  let n = Array.length p in
+  let c = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. p.(i);
+    c.(i) <- !acc
+  done;
+  if n > 0 && abs_float (c.(n - 1) -. 1.) < 1e-9 then c.(n - 1) <- 1.;
+  c
+
+let normalize v =
+  let s = Array.fold_left ( +. ) 0. v in
+  if s <= 0. then invalid_arg "Histogram.normalize: non-positive sum";
+  Array.map (fun x -> x /. s) v
+
+let total_variation p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Histogram.total_variation: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. abs_float (pi -. q.(i))) p;
+  0.5 *. !acc
+
+let pmf_of_samples ~m ~lo ~hi xs =
+  let h = create ~m ~lo ~hi in
+  Array.iter (add h) xs;
+  pmf h

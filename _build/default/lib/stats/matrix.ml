@@ -1,0 +1,51 @@
+let make r c v = Array.init r (fun _ -> Array.make c v)
+let copy m = Array.map Array.copy m
+
+let dims m =
+  let r = Array.length m in
+  (r, if r = 0 then 0 else Array.length m.(0))
+
+let row_normalize m =
+  Array.iter
+    (fun row ->
+      let s = Array.fold_left ( +. ) 0. row in
+      let n = Array.length row in
+      if s <= 0. then Array.fill row 0 n (1. /. float_of_int n)
+      else
+        for j = 0 to n - 1 do
+          row.(j) <- row.(j) /. s
+        done)
+    m
+
+let max_abs_diff_vec a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Matrix.max_abs_diff_vec: length mismatch";
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let e = abs_float (x -. b.(i)) in
+      if e > !d then d := e)
+    a;
+  !d
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then invalid_arg "Matrix.max_abs_diff: row mismatch";
+  let d = ref 0. in
+  Array.iteri
+    (fun i row ->
+      let e = max_abs_diff_vec row b.(i) in
+      if e > !d then d := e)
+    a;
+  !d
+
+let random_stochastic rng r c =
+  let m = Array.init r (fun _ -> Array.init c (fun _ -> 0.05 +. Rng.float rng)) in
+  row_normalize m;
+  m
+
+let is_stochastic ?(eps = 1e-6) m =
+  Array.for_all
+    (fun row ->
+      Array.for_all (fun x -> x >= 0.) row
+      && abs_float (Array.fold_left ( +. ) 0. row -. 1.) <= eps)
+    m

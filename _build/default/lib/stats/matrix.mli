@@ -1,0 +1,24 @@
+(** Small dense-matrix helpers for the EM implementations.  Matrices
+    are [float array array] in row-major layout; no aliasing tricks. *)
+
+val make : int -> int -> float -> float array array
+val copy : float array array -> float array array
+val dims : float array array -> int * int
+
+val row_normalize : float array array -> unit
+(** Make every row a stochastic vector in place.  Rows summing to zero
+    are replaced by the uniform distribution (the EM M-step can produce
+    such rows for states never visited). *)
+
+val max_abs_diff : float array array -> float array array -> float
+(** Largest entrywise absolute difference.  Requires equal dims. *)
+
+val max_abs_diff_vec : float array -> float array -> float
+
+val random_stochastic : Rng.t -> int -> int -> float array array
+(** Random row-stochastic matrix with entries bounded away from 0 —
+    the paper initializes the MMHD transition matrix randomly. *)
+
+val is_stochastic : ?eps:float -> float array array -> bool
+(** All entries non-negative and every row sums to 1 within [eps]
+    (default 1e-6). *)

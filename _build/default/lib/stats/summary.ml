@@ -1,0 +1,41 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let mean_of xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Summary.quantile: q out of [0,1]";
+  let s = Array.copy xs in
+  Array.sort compare s;
+  let pos = q *. float_of_int (n - 1) in
+  let i = int_of_float (Float.of_int (int_of_float pos)) in
+  let frac = pos -. float_of_int i in
+  if i >= n - 1 then s.(n - 1) else s.(i) +. (frac *. (s.(i + 1) -. s.(i)))
+
+let median xs = quantile xs 0.5

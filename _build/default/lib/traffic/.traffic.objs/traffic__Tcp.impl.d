@@ -1,0 +1,1 @@
+lib/traffic/tcp.ml: Float Hashtbl Net Netsim Option Packet Sim Stdlib

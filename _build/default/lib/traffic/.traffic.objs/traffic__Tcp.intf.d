@@ -1,0 +1,1 @@
+lib/traffic/tcp.mli: Netsim

@@ -1,0 +1,1 @@
+lib/traffic/udp.ml: Net Netsim Packet Sim Stats

@@ -1,0 +1,1 @@
+lib/traffic/udp.mli: Netsim

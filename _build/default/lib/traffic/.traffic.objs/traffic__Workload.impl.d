@@ -1,0 +1,1 @@
+lib/traffic/workload.ml: Net Netsim Sim Stats Stdlib Tcp

@@ -1,0 +1,111 @@
+open Netsim
+
+type shape =
+  | Cbr
+  | Onoff of { mean_on : float; mean_off : float }
+  | Pulse of { on_duration : float; period : float }
+
+type t = {
+  net : Net.t;
+  flow : int;
+  src : int;
+  dst : int;
+  interval : float;  (* packet spacing while sending *)
+  pkt_size : int;
+  shape : shape;
+  rng : Stats.Rng.t;
+  mutable running : bool;
+  mutable seq : int;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let make net ~src ~dst ~rate ~pkt_size shape =
+  if rate <= 0. then invalid_arg "Udp: rate <= 0";
+  if pkt_size <= 0 then invalid_arg "Udp: pkt_size <= 0";
+  let s = Net.sim net in
+  let flow = Sim.fresh_flow_id s in
+  let t =
+    {
+      net;
+      flow;
+      src;
+      dst;
+      interval = float_of_int (pkt_size * 8) /. rate;
+      pkt_size;
+      shape;
+      rng = Stats.Rng.split (Sim.rng s);
+      running = false;
+      seq = 0;
+      sent = 0;
+      received = 0;
+    }
+  in
+  Net.set_handler net ~node:dst ~flow (fun _ -> t.received <- t.received + 1);
+  t
+
+let cbr net ~src ~dst ~rate ~pkt_size = make net ~src ~dst ~rate ~pkt_size Cbr
+
+let onoff net ~src ~dst ~rate ~pkt_size ~mean_on ~mean_off =
+  if mean_on <= 0. || mean_off <= 0. then invalid_arg "Udp.onoff: non-positive period";
+  make net ~src ~dst ~rate ~pkt_size (Onoff { mean_on; mean_off })
+
+let pulse net ~src ~dst ~rate ~pkt_size ~on_duration ~period =
+  if on_duration <= 0. || period <= on_duration then
+    invalid_arg "Udp.pulse: need 0 < on_duration < period";
+  make net ~src ~dst ~rate ~pkt_size (Pulse { on_duration; period })
+
+let emit t =
+  let s = Net.sim t.net in
+  let pkt =
+    Packet.make ~id:(Sim.fresh_packet_id s) ~flow:t.flow ~src:t.src ~dst:t.dst
+      ~size:t.pkt_size ~kind:Packet.Udp ~seq:t.seq ~sent_at:(Sim.now s) ()
+  in
+  t.seq <- t.seq + 1;
+  t.sent <- t.sent + 1;
+  Net.inject t.net pkt
+
+let rec send_loop t ~until =
+  if t.running then begin
+    let s = Net.sim t.net in
+    let now = Sim.now s in
+    if now <= until then begin
+      emit t;
+      Sim.after s t.interval (fun () -> send_loop t ~until)
+    end
+    else
+      match t.shape with
+      | Cbr ->
+          (* CBR never pauses; [until] is infinite, unreachable. *)
+          ()
+      | Onoff { mean_on; mean_off } ->
+          let off = Stats.Sampler.exponential t.rng ~rate:(1. /. mean_off) in
+          Sim.after s off (fun () -> start_on t ~mean_on)
+      | Pulse { on_duration; period } ->
+          let gap = period -. on_duration in
+          let jitter = 0.9 +. (0.2 *. Stats.Rng.float t.rng) in
+          Sim.after s (gap *. jitter) (fun () ->
+              if t.running then send_loop t ~until:(Sim.now s +. on_duration))
+  end
+
+and start_on t ~mean_on =
+  if t.running then begin
+    let on = Stats.Sampler.exponential t.rng ~rate:(1. /. mean_on) in
+    let s = Net.sim t.net in
+    send_loop t ~until:(Sim.now s +. on)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    match t.shape with
+    | Cbr -> send_loop t ~until:infinity
+    | Onoff { mean_on; mean_off = _ } -> start_on t ~mean_on
+    | Pulse { on_duration; period = _ } ->
+        let s = Net.sim t.net in
+        send_loop t ~until:(Sim.now s +. on_duration)
+  end
+
+let stop t = t.running <- false
+let sent t = t.sent
+let received t = t.received

@@ -1,0 +1,48 @@
+(** Open-loop UDP sources: constant bit rate and exponential on-off.
+    Both register a counting sink at the destination. *)
+
+type t
+
+val cbr :
+  Netsim.Net.t -> src:int -> dst:int -> rate:float -> pkt_size:int -> t
+(** [cbr net ~src ~dst ~rate ~pkt_size] emits [pkt_size]-byte datagrams
+    back to back at [rate] bits/s once started. *)
+
+val onoff :
+  Netsim.Net.t ->
+  src:int ->
+  dst:int ->
+  rate:float ->
+  pkt_size:int ->
+  mean_on:float ->
+  mean_off:float ->
+  t
+(** Exponential on-off source: alternates exponentially distributed ON
+    periods (mean [mean_on] seconds, sending at [rate] bits/s) and OFF
+    periods (mean [mean_off]).  This is the paper's "UDP on-off"
+    cross traffic. *)
+
+val pulse :
+  Netsim.Net.t ->
+  src:int ->
+  dst:int ->
+  rate:float ->
+  pkt_size:int ->
+  on_duration:float ->
+  period:float ->
+  t
+(** Periodic pulse source: every [period] seconds (with a +/-10%
+    uniform jitter so it cannot phase-lock with periodic probing) it
+    transmits at [rate] bits/s for [on_duration] seconds.  Think
+    periodic bulk jobs: it produces one congestion episode of
+    predictable length per period, which makes a link's loss level
+    steady across runs. *)
+
+val start : t -> unit
+(** Begin at the current simulation time (an on-off source starts with
+    an ON period). *)
+
+val stop : t -> unit
+val sent : t -> int
+val received : t -> int
+(** Packets that reached the destination sink. *)

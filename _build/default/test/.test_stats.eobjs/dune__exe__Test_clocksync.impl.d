@@ -1,0 +1,1 @@
+test/test_clocksync.ml: Alcotest Array Clocksync Float List QCheck QCheck_alcotest Stats

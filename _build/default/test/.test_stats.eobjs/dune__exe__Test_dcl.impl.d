@@ -1,0 +1,1 @@
+test/test_dcl.ml: Alcotest Array Dcl List Mmhd Probe QCheck QCheck_alcotest Stats

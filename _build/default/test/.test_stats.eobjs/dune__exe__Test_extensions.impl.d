@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dcl Filename Float Fun Hmm Link List Mmhd Netsim Packet Probe Qmonitor Sim Stats Sys Tracefile

@@ -1,0 +1,1 @@
+test/test_hmm.ml: Alcotest Array Hmm List Printf QCheck QCheck_alcotest Stats

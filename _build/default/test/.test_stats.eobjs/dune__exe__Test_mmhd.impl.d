@@ -1,0 +1,1 @@
+test/test_mmhd.ml: Alcotest Array List Mmhd Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Eventq Link List Net Netsim Option Packet Printf QCheck QCheck_alcotest Red Sim Stats

@@ -1,0 +1,1 @@
+test/test_pathchar.ml: Alcotest Array List Net Netsim Packet Pathchar Printf Sim Traffic

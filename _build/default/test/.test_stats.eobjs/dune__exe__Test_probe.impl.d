@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Array Filename Fun Link List Net Netsim Packet Probe QCheck QCheck_alcotest Sim Stats Sys Traffic

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Dcl Netsim Option Probe Scenarios Stats

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Link Net Netsim Sim Traffic

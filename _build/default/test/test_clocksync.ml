@@ -1,0 +1,128 @@
+(* Tests for convex-hull clock skew estimation and removal. *)
+
+let check_close eps = Alcotest.(check (float eps))
+
+let test_hull_of_line () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, 2. +. float_of_int i)) in
+  let hull = Clocksync.lower_hull pts in
+  (* Collinear points collapse to the segment endpoints (possibly with
+     interior points removed). *)
+  Alcotest.(check bool) "endpoints kept" true
+    (hull.(0) = (0., 2.) && hull.(Array.length hull - 1) = (9., 11.))
+
+let test_hull_below_points () =
+  let rng = Stats.Rng.create 3 in
+  let pts =
+    Array.init 200 (fun i ->
+        (float_of_int i, (0.01 *. float_of_int i) +. Stats.Rng.float rng))
+  in
+  let hull = Clocksync.lower_hull pts in
+  (* Every point must lie on or above every hull edge's chord. *)
+  for k = 0 to Array.length hull - 2 do
+    let x1, y1 = hull.(k) and x2, y2 = hull.(k + 1) in
+    let slope = (y2 -. y1) /. (x2 -. x1) in
+    Array.iter
+      (fun (x, y) ->
+        if x >= x1 && x <= x2 then
+          let line = y1 +. (slope *. (x -. x1)) in
+          if y < line -. 1e-9 then Alcotest.fail "point below hull edge")
+      pts
+  done
+
+let test_estimate_exact_line () =
+  let times = Array.init 50 (fun i -> float_of_int i) in
+  let delays = Array.map (fun t -> 0.05 +. (0.001 *. t)) times in
+  let { Clocksync.slope; intercept } = Clocksync.estimate ~times ~delays in
+  check_close 1e-9 "slope" 0.001 slope;
+  check_close 1e-9 "intercept" 0.05 intercept
+
+let test_estimate_with_queueing_noise () =
+  (* One-way delays = propagation + skew*t + non-negative queuing; the
+     estimator must recover the skew from the floor of the cloud. *)
+  let rng = Stats.Rng.create 7 in
+  let n = 5000 in
+  let skew = 5e-5 in
+  let times = Array.init n (fun i -> 0.02 *. float_of_int i) in
+  let delays =
+    Array.map
+      (fun t ->
+        let queuing =
+          if Stats.Sampler.bernoulli rng ~p:0.7 then 0.
+          else Stats.Sampler.exponential rng ~rate:50.
+        in
+        0.03 +. (skew *. t) +. queuing)
+      times
+    in
+  let { Clocksync.slope; _ } = Clocksync.estimate ~times ~delays in
+  check_close 2e-6 "skew recovered" skew slope
+
+let test_apply_remove_roundtrip () =
+  let rng = Stats.Rng.create 9 in
+  let n = 2000 in
+  let times = Array.init n (fun i -> 0.02 *. float_of_int i) in
+  let clean =
+    Array.map
+      (fun _ ->
+        0.03
+        +. if Stats.Sampler.bernoulli rng ~p:0.5 then 0. else Stats.Sampler.exponential rng ~rate:30.)
+      times
+  in
+  let skewed = Clocksync.apply_skew ~times ~delays:clean ~skew:(-8e-5) in
+  let repaired = Clocksync.remove_skew ~times ~delays:skewed in
+  (* Compare shapes: the repaired series differs from the clean one by
+     at most a constant (the offset at t0) plus estimation error. *)
+  let diff = Array.init n (fun i -> repaired.(i) -. clean.(i)) in
+  let dmin = Array.fold_left Float.min diff.(0) diff in
+  let dmax = Array.fold_left Float.max diff.(0) diff in
+  Alcotest.(check bool) "residual drift < 1 ms across the trace" true
+    (dmax -. dmin < 0.001)
+
+let test_estimate_invalid () =
+  Alcotest.(check bool) "needs 2 samples" true
+    (try
+       ignore (Clocksync.estimate ~times:[| 1. |] ~delays:[| 1. |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore (Clocksync.estimate ~times:[| 1.; 2. |] ~delays:[| 1. |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* QCheck: estimated line lies below all samples. *)
+let prop_line_below_cloud =
+  QCheck.Test.make ~name:"estimated line bounds the cloud from below" ~count:100
+    QCheck.(pair (int_range 1 1000) (float_range (-1e-4) 1e-4))
+    (fun (seed, skew) ->
+      let rng = Stats.Rng.create seed in
+      let n = 200 in
+      let times = Array.init n (fun i -> float_of_int i) in
+      let delays =
+        Array.map (fun t -> 0.05 +. (skew *. t) +. Stats.Rng.float rng) times
+      in
+      let { Clocksync.slope; intercept } = Clocksync.estimate ~times ~delays in
+      Array.for_all2
+        (fun t d -> d >= intercept +. (slope *. t) -. 1e-9)
+        times delays)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_line_below_cloud ]
+
+let () =
+  Alcotest.run "clocksync"
+    [
+      ( "hull",
+        [
+          Alcotest.test_case "line" `Quick test_hull_of_line;
+          Alcotest.test_case "below points" `Quick test_hull_below_points;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "exact line" `Quick test_estimate_exact_line;
+          Alcotest.test_case "queueing noise" `Quick test_estimate_with_queueing_noise;
+          Alcotest.test_case "invalid" `Quick test_estimate_invalid;
+        ] );
+      ( "remove",
+        [ Alcotest.test_case "apply/remove roundtrip" `Quick test_apply_remove_roundtrip ]
+      );
+      ("properties", qcheck_cases);
+    ]

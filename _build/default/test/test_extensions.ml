@@ -1,0 +1,492 @@
+(* Tests for the extension modules: Viterbi decoding, the generalized
+   delay-factor tests, stationarity screening, sliding-window
+   identification, and queue monitoring. *)
+
+open Netsim
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* --- Viterbi ------------------------------------------------------------- *)
+
+let hmm_ref : Hmm.t =
+  {
+    n = 2;
+    m = 3;
+    pi = [| 0.7; 0.3 |];
+    a = [| [| 0.9; 0.1 |]; [| 0.2; 0.8 |] |];
+    b = [| [| 0.6; 0.35; 0.05 |]; [| 0.05; 0.15; 0.8 |] |];
+    c = [| 0.01; 0.05; 0.4 |];
+  }
+
+let mmhd_ref : Mmhd.t =
+  {
+    n = 2;
+    m = 2;
+    pi = [| 0.5; 0.2; 0.1; 0.2 |];
+    a =
+      [|
+        [| 0.70; 0.20; 0.05; 0.05 |];
+        [| 0.40; 0.40; 0.05; 0.15 |];
+        [| 0.20; 0.05; 0.40; 0.35 |];
+        [| 0.05; 0.05; 0.30; 0.60 |];
+      |];
+    c = [| 0.02; 0.30 |];
+  }
+
+(* Brute-force best path by enumeration for a tiny sequence. *)
+let brute_viterbi_hmm (t : Hmm.t) obs =
+  let emission i = function
+    | Some j -> t.Hmm.b.(i).(j) *. (1. -. t.Hmm.c.(j))
+    | None ->
+        let acc = ref 0. in
+        for j = 0 to t.Hmm.m - 1 do
+          acc := !acc +. (t.Hmm.b.(i).(j) *. t.Hmm.c.(j))
+        done;
+        !acc
+  in
+  let tt = Array.length obs in
+  let best = ref (neg_infinity, [||]) in
+  let rec extend time path prob =
+    if time = tt then begin
+      if prob > fst !best then best := (prob, Array.of_list (List.rev path))
+    end
+    else
+      for i = 0 to t.Hmm.n - 1 do
+        let step =
+          (match path with
+          | [] -> log t.Hmm.pi.(i)
+          | prev :: _ -> log t.Hmm.a.(prev).(i))
+          +. log (emission i obs.(time))
+        in
+        extend (time + 1) (i :: path) (prob +. step)
+      done
+  in
+  extend 0 [] 0.;
+  !best
+
+let test_hmm_viterbi_matches_brute_force () =
+  let obs = [| Some 0; Some 2; None; Some 2; Some 0; Some 1 |] in
+  let path, logp = Hmm.viterbi hmm_ref obs in
+  let b_logp, b_path = brute_viterbi_hmm hmm_ref obs in
+  check_close 1e-9 "log prob" b_logp logp;
+  Alcotest.(check (array int)) "path" b_path path
+
+let test_hmm_viterbi_tracks_regimes () =
+  let obs = Array.append (Array.make 8 (Some 0)) (Array.make 8 (Some 2)) in
+  let path, _ = Hmm.viterbi hmm_ref obs in
+  Alcotest.(check int) "starts calm" 0 path.(2);
+  Alcotest.(check int) "ends congested" 1 path.(13)
+
+let test_mmhd_viterbi_consistency () =
+  (* At observed instants the decoded state must carry the observed
+     symbol. *)
+  let rng = Stats.Rng.create 5 in
+  let obs, _ = Mmhd.simulate rng mmhd_ref ~len:500 in
+  let path, logp = Mmhd.viterbi mmhd_ref obs in
+  Alcotest.(check bool) "finite log prob" true (Float.is_finite logp);
+  Array.iteri
+    (fun t o ->
+      match o with
+      | Some j -> Alcotest.(check int) "symbol consistent" j (Mmhd.symbol_of mmhd_ref path.(t))
+      | None -> ())
+    obs
+
+let test_mmhd_viterbi_attributes_loss () =
+  (* A loss surrounded by symbol-1 observations decodes to a symbol-1
+     state (symbol 1 has the high loss probability). *)
+  let obs = [| Some 1; Some 1; None; Some 1 |] in
+  let path, _ = Mmhd.viterbi mmhd_ref obs in
+  Alcotest.(check int) "loss decoded at symbol 1" 1 (Mmhd.symbol_of mmhd_ref path.(2))
+
+(* --- Generalized delay-factor tests -------------------------------------- *)
+
+let scheme = Dcl.Discretize.of_range ~m:10 ~lo:0. ~hi:1.
+
+let test_delay_factor_indexing () =
+  (* Mass at symbol 3 (1-based): with x = 1 the tested symbol is 6;
+     with x = 2 it is ceil(1.5 * 3) = 5; with x = 0.5 it is 9. *)
+  let pmf = Array.make 10 0. in
+  pmf.(2) <- 1.;
+  let v = Dcl.Vqd.of_pmf scheme pmf in
+  Alcotest.(check int) "x=1" 6 (Dcl.Tests.sdcl v).Dcl.Tests.two_d_star;
+  Alcotest.(check int) "x=2" 5 (Dcl.Tests.sdcl ~delay_factor:2. v).Dcl.Tests.two_d_star;
+  Alcotest.(check int) "x=0.5" 9 (Dcl.Tests.sdcl ~delay_factor:0.5 v).Dcl.Tests.two_d_star
+
+let test_delay_factor_strictness () =
+  (* A distribution with its tail just above 2 d* is accepted under a
+     lenient x < 1 but rejected under the default x = 1 and stricter
+     x > 1. *)
+  let pmf = Array.make 10 0. in
+  pmf.(2) <- 0.8;
+  (* d* = 3 (1-based); tail at symbol 7 > 6 = 2 d*. *)
+  pmf.(6) <- 0.2;
+  let v = Dcl.Vqd.of_pmf scheme pmf in
+  Alcotest.(check bool) "x=1 rejects" true
+    ((Dcl.Tests.sdcl v).Dcl.Tests.verdict = Dcl.Tests.Reject);
+  Alcotest.(check bool) "x=0.5 accepts (tests symbol 9)" true
+    ((Dcl.Tests.sdcl ~delay_factor:0.5 v).Dcl.Tests.verdict = Dcl.Tests.Accept);
+  Alcotest.(check bool) "x=2 rejects too" true
+    ((Dcl.Tests.sdcl ~delay_factor:2. v).Dcl.Tests.verdict = Dcl.Tests.Reject)
+
+let test_delay_factor_invalid () =
+  let v = Dcl.Vqd.of_pmf scheme (Array.make 10 0.1) in
+  Alcotest.check_raises "x <= 0" (Invalid_argument "Tests: delay_factor must be positive")
+    (fun () -> ignore (Dcl.Tests.sdcl ~delay_factor:0. v))
+
+(* --- Stationarity --------------------------------------------------------- *)
+
+let mk_record t obs = Probe.Trace.{ send_time = t; obs; truth = None }
+
+let synthetic_trace ~n ~delay_of ~loss_every =
+  let records =
+    Array.init n (fun i ->
+        let t = 0.02 *. float_of_int i in
+        if loss_every > 0 && i mod loss_every = 0 then mk_record t Probe.Trace.Lost
+        else mk_record t (Probe.Trace.Delay (delay_of i)))
+  in
+  Probe.Trace.create ~records ~interval:0.02 ~base_delay:0.05 ~hop_count:1
+
+let test_stationarity_accepts_stable () =
+  let rng = Stats.Rng.create 7 in
+  let trace =
+    synthetic_trace ~n:4000
+      ~delay_of:(fun _ -> 0.05 +. (0.05 *. Stats.Rng.float rng))
+      ~loss_every:50
+  in
+  let r = Dcl.Stationarity.check trace in
+  Alcotest.(check bool) "stationary" true r.Dcl.Stationarity.stationary;
+  Alcotest.(check int) "4 blocks" 4 (Array.length r.Dcl.Stationarity.blocks)
+
+let test_stationarity_rejects_delay_shift () =
+  let rng = Stats.Rng.create 7 in
+  (* The second half's delays double: clear distribution drift. *)
+  let trace =
+    synthetic_trace ~n:4000
+      ~delay_of:(fun i ->
+        let base = if i < 2000 then 0.05 else 0.15 in
+        base +. (0.02 *. Stats.Rng.float rng))
+      ~loss_every:50
+  in
+  let r = Dcl.Stationarity.check trace in
+  Alcotest.(check bool) "not stationary" false r.Dcl.Stationarity.stationary;
+  Alcotest.(check bool) "large TV" true (r.Dcl.Stationarity.max_tv > 0.5)
+
+let test_stationarity_rejects_loss_shift () =
+  let rng = Stats.Rng.create 7 in
+  let records =
+    Array.init 4000 (fun i ->
+        let t = 0.02 *. float_of_int i in
+        let lossy = i >= 2000 in
+        if (lossy && i mod 10 = 0) || ((not lossy) && i mod 1000 = 0) then
+          mk_record t Probe.Trace.Lost
+        else mk_record t (Probe.Trace.Delay (0.05 +. (0.05 *. Stats.Rng.float rng))))
+  in
+  let trace = Probe.Trace.create ~records ~interval:0.02 ~base_delay:0.05 ~hop_count:1 in
+  let r = Dcl.Stationarity.check trace in
+  Alcotest.(check bool) "not stationary" false r.Dcl.Stationarity.stationary;
+  Alcotest.(check bool) "loss spread visible" true
+    (r.Dcl.Stationarity.loss_rate_spread > 0.05)
+
+let test_stationarity_invalid () =
+  let trace = synthetic_trace ~n:4 ~delay_of:(fun _ -> 0.1) ~loss_every:0 in
+  Alcotest.check_raises "too short" (Invalid_argument "Stationarity.check: trace too short")
+    (fun () -> ignore (Dcl.Stationarity.check trace))
+
+(* --- Online scan ---------------------------------------------------------- *)
+
+(* A synthetic trace whose regime changes halfway: first half losses at
+   a low symbol cluster, second half losses split low/high. *)
+let online_trace () =
+  let rng = Stats.Rng.create 13 in
+  let n = 30_000 in
+  let records =
+    Array.init n (fun i ->
+        let t = 0.02 *. float_of_int i in
+        let second_half = i >= n / 2 in
+        let u = Stats.Rng.float rng in
+        if u < 0.01 then
+          (* a loss: neighbors below determine its context *)
+          mk_record t Probe.Trace.Lost
+        else
+          let near_loss = u < 0.03 in
+          let delay =
+            if near_loss then if second_half && u < 0.02 then 0.45 else 0.15
+            else 0.05 +. (0.04 *. Stats.Rng.float rng)
+          in
+          mk_record t (Probe.Trace.Delay delay))
+  in
+  Probe.Trace.create ~records ~interval:0.02 ~base_delay:0.05 ~hop_count:1
+
+let test_online_scan_shapes () =
+  let trace = online_trace () in
+  let rng = Stats.Rng.create 3 in
+  let samples = Dcl.Online.scan ~rng ~window:120. ~stride:60. trace in
+  Alcotest.(check bool) "several windows" true (List.length samples > 5);
+  (* Windows are ordered and spaced by the stride. *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        a.Dcl.Online.at < b.Dcl.Online.at && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ordered" true (ordered samples);
+  List.iter
+    (fun (s : Dcl.Online.sample) ->
+      match s.Dcl.Online.conclusion with
+      | Some _ -> ()
+      | None -> Alcotest.fail "window unexpectedly unidentifiable")
+    samples
+
+let test_online_changes_collapse () =
+  let mk at conclusion =
+    Dcl.Online.{ at; conclusion; f_at_two_d_star = 1.; loss_rate = 0.01 }
+  in
+  let samples =
+    [
+      mk 1. (Some Dcl.Identify.Strongly_dominant);
+      mk 2. (Some Dcl.Identify.Strongly_dominant);
+      mk 3. (Some Dcl.Identify.No_dominant);
+      mk 4. (Some Dcl.Identify.No_dominant);
+      mk 5. None;
+    ]
+  in
+  let changes = Dcl.Online.changes samples in
+  Alcotest.(check int) "three change points" 3 (List.length changes);
+  Alcotest.(check (list (float 0.))) "at the right times" [ 1.; 3.; 5. ]
+    (List.map fst changes)
+
+let test_online_invalid () =
+  let trace = online_trace () in
+  let rng = Stats.Rng.create 1 in
+  Alcotest.check_raises "stride" (Invalid_argument "Online.scan: stride <= 0") (fun () ->
+      ignore (Dcl.Online.scan ~rng ~window:60. ~stride:0. trace));
+  Alcotest.check_raises "window" (Invalid_argument "Online.scan: window must be in (0, duration]")
+    (fun () -> ignore (Dcl.Online.scan ~rng ~window:1e9 ~stride:60. trace))
+
+(* --- Queue monitor --------------------------------------------------------- *)
+
+let test_qmonitor_tracks_backlog () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~id:0 ~src:0 ~dst:1 ~bandwidth:1e6 ~delay:0.001 ~capacity:100_000
+      ~policy:Link.Droptail ()
+  in
+  let mon = Qmonitor.create sim link ~interval:0.001 in
+  Qmonitor.start mon ~at:0. ~until:0.1;
+  (* Two packets queued at t=0: backlog decays from 16 ms to 0. *)
+  Sim.at sim 0. (fun () ->
+      for i = 0 to 1 do
+        Link.offer link
+          (Packet.make ~id:i ~flow:0 ~src:0 ~dst:1 ~size:1000 ~kind:Packet.Udp ~seq:i
+             ~sent_at:0. ())
+      done);
+  Sim.run sim;
+  let samples = Qmonitor.samples mon in
+  Alcotest.(check int) "100 samples" 100 (Array.length samples);
+  (* The monitor's t=0 sample fires before the packets are offered, so
+     the first loaded sample is at t=1 ms with 15 ms of work left. *)
+  check_close 1e-9 "max backlog" 0.015 (Qmonitor.max_backlog mon);
+  Alcotest.(check bool) "mean in (0, max)" true
+    (Qmonitor.mean_backlog mon > 0. && Qmonitor.mean_backlog mon < 0.015);
+  (* Busy ~15 of the 100 sampled milliseconds. *)
+  check_close 0.02 "fraction above zero" 0.15 (Qmonitor.fraction_above mon ~threshold:1e-6)
+
+let test_qmonitor_invalid () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~id:0 ~src:0 ~dst:1 ~bandwidth:1e6 ~delay:0.001 ~capacity:1000
+      ~policy:Link.Droptail ()
+  in
+  Alcotest.check_raises "interval" (Invalid_argument "Qmonitor.create: interval <= 0")
+    (fun () -> ignore (Qmonitor.create sim link ~interval:0.))
+
+(* --- Locate ------------------------------------------------------------------- *)
+
+let mk_prefix hops conclusion =
+  Dcl.Locate.{ hops; conclusion; loss_rate = 0.01 }
+
+let test_locate_clean_case () =
+  let prefixes =
+    [
+      mk_prefix 1 None;
+      mk_prefix 2 (Some Dcl.Identify.No_dominant);
+      mk_prefix 3 (Some Dcl.Identify.Strongly_dominant);
+      mk_prefix 4 (Some Dcl.Identify.Weakly_dominant);
+      mk_prefix 5 (Some Dcl.Identify.Strongly_dominant);
+    ]
+  in
+  Alcotest.(check (option int)) "hop 3" (Some 3) (Dcl.Locate.pinpoint prefixes)
+
+let test_locate_order_independent () =
+  let prefixes =
+    [
+      mk_prefix 3 (Some Dcl.Identify.Strongly_dominant);
+      mk_prefix 1 None;
+      mk_prefix 2 (Some Dcl.Identify.No_dominant);
+    ]
+  in
+  Alcotest.(check (option int)) "unsorted input" (Some 3) (Dcl.Locate.pinpoint prefixes)
+
+let test_locate_no_dominant () =
+  let prefixes =
+    [ mk_prefix 1 (Some Dcl.Identify.No_dominant); mk_prefix 2 (Some Dcl.Identify.No_dominant) ]
+  in
+  Alcotest.(check (option int)) "none" None (Dcl.Locate.pinpoint prefixes)
+
+let test_locate_inconsistent_suffix () =
+  (* A dominant prefix followed by a non-dominant longer prefix is
+     inconsistent: the dominant suffix must be unbroken. *)
+  let prefixes =
+    [
+      mk_prefix 1 (Some Dcl.Identify.Strongly_dominant);
+      mk_prefix 2 (Some Dcl.Identify.No_dominant);
+      mk_prefix 3 (Some Dcl.Identify.Strongly_dominant);
+    ]
+  in
+  Alcotest.(check (option int)) "restarts at 3" (Some 3) (Dcl.Locate.pinpoint prefixes)
+
+let test_locate_empty () =
+  Alcotest.(check (option int)) "empty input" None (Dcl.Locate.pinpoint [])
+
+(* --- Tracefile -------------------------------------------------------------- *)
+
+let test_tracefile_events_and_roundtrip () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~id:0 ~src:0 ~dst:1 ~bandwidth:1e6 ~delay:0.001 ~capacity:2000
+      ~policy:Link.Droptail ()
+  in
+  let tf = Tracefile.create () in
+  Tracefile.attach tf sim link;
+  Sim.at sim 0. (fun () ->
+      for i = 0 to 2 do
+        Link.offer link
+          (Packet.make ~id:i ~flow:9 ~src:0 ~dst:1 ~size:1000 ~kind:Packet.Udp ~seq:i
+             ~sent_at:0. ())
+      done);
+  Sim.run sim;
+  let events = Tracefile.events tf in
+  (* 2 accepted (enqueue+dequeue+receive each) + 1 drop = 7 events. *)
+  Alcotest.(check int) "event count" 7 (Array.length events);
+  let count k =
+    Array.fold_left (fun n e -> if e.Tracefile.kind = k then n + 1 else n) 0 events
+  in
+  Alcotest.(check int) "enqueues" 2 (count Tracefile.Enqueue);
+  Alcotest.(check int) "dequeues" 2 (count Tracefile.Dequeue);
+  Alcotest.(check int) "receives" 2 (count Tracefile.Receive);
+  Alcotest.(check int) "drops" 1 (count Tracefile.Drop);
+  Alcotest.(check (list (pair int int))) "drops per flow" [ (9, 1) ]
+    (Tracefile.drops_per_flow events);
+  (* Save / load roundtrip. *)
+  let file = Filename.temp_file "nstrace" ".tr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Tracefile.save tf file;
+      let loaded = Tracefile.load file in
+      Alcotest.(check int) "loaded count" (Array.length events) (Array.length loaded);
+      Array.iteri
+        (fun i e ->
+          let l = loaded.(i) in
+          Alcotest.(check bool) "kind" true (e.Tracefile.kind = l.Tracefile.kind);
+          Alcotest.(check int) "packet id" e.Tracefile.packet_id l.Tracefile.packet_id;
+          check_close 1e-5 "time" e.Tracefile.time l.Tracefile.time)
+        events)
+
+let test_tracefile_ordering () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~id:0 ~src:0 ~dst:1 ~bandwidth:1e6 ~delay:0.001 ~capacity:100_000
+      ~policy:Link.Droptail ()
+  in
+  let tf = Tracefile.create () in
+  Tracefile.attach tf sim link;
+  Sim.at sim 0. (fun () ->
+      Link.offer link
+        (Packet.make ~id:0 ~flow:0 ~src:0 ~dst:1 ~size:1000 ~kind:Packet.Udp ~seq:0
+           ~sent_at:0. ()));
+  Sim.run sim;
+  let events = Tracefile.events tf in
+  let kinds = Array.to_list (Array.map (fun e -> e.Tracefile.kind) events) in
+  Alcotest.(check bool) "enqueue, dequeue, receive in order" true
+    (kinds = [ Tracefile.Enqueue; Tracefile.Dequeue; Tracefile.Receive ])
+
+(* --- Bootstrap ---------------------------------------------------------------- *)
+
+(* Reuse the synthetic online trace: its F statistic is stable and the
+   bootstrap must bracket it. *)
+let test_bootstrap_brackets_point () =
+  let trace = online_trace () in
+  let trace = Probe.Trace.sub trace ~pos:0 ~len:10_000 in
+  let rng = Stats.Rng.create 9 in
+  let iv = Dcl.Bootstrap.f_statistic ~replicates:20 ~rng trace in
+  Alcotest.(check bool) "finite interval" true (Float.is_finite iv.Dcl.Bootstrap.lo);
+  Alcotest.(check bool) "ordered" true (iv.Dcl.Bootstrap.lo <= iv.Dcl.Bootstrap.hi);
+  Alcotest.(check bool) "point within a widened interval" true
+    (iv.Dcl.Bootstrap.point >= iv.Dcl.Bootstrap.lo -. 0.1
+    && iv.Dcl.Bootstrap.point <= iv.Dcl.Bootstrap.hi +. 0.1);
+  Alcotest.(check bool) "accept fraction is a probability" true
+    (iv.Dcl.Bootstrap.accept_fraction >= 0. && iv.Dcl.Bootstrap.accept_fraction <= 1.)
+
+let test_bootstrap_invalid () =
+  let trace = online_trace () in
+  let rng = Stats.Rng.create 1 in
+  Alcotest.check_raises "replicates" (Invalid_argument "Bootstrap.f_statistic: replicates <= 0")
+    (fun () -> ignore (Dcl.Bootstrap.f_statistic ~replicates:0 ~rng trace));
+  Alcotest.check_raises "confidence"
+    (Invalid_argument "Bootstrap.f_statistic: confidence must be in (0, 1)") (fun () ->
+      ignore (Dcl.Bootstrap.f_statistic ~confidence:1.5 ~rng trace))
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "viterbi",
+        [
+          Alcotest.test_case "hmm matches brute force" `Quick
+            test_hmm_viterbi_matches_brute_force;
+          Alcotest.test_case "hmm tracks regimes" `Quick test_hmm_viterbi_tracks_regimes;
+          Alcotest.test_case "mmhd consistency" `Quick test_mmhd_viterbi_consistency;
+          Alcotest.test_case "mmhd loss attribution" `Quick test_mmhd_viterbi_attributes_loss;
+        ] );
+      ( "delay factor",
+        [
+          Alcotest.test_case "indexing" `Quick test_delay_factor_indexing;
+          Alcotest.test_case "strictness" `Quick test_delay_factor_strictness;
+          Alcotest.test_case "invalid" `Quick test_delay_factor_invalid;
+        ] );
+      ( "stationarity",
+        [
+          Alcotest.test_case "accepts stable" `Quick test_stationarity_accepts_stable;
+          Alcotest.test_case "rejects delay shift" `Quick test_stationarity_rejects_delay_shift;
+          Alcotest.test_case "rejects loss shift" `Quick test_stationarity_rejects_loss_shift;
+          Alcotest.test_case "invalid" `Quick test_stationarity_invalid;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "scan shapes" `Slow test_online_scan_shapes;
+          Alcotest.test_case "changes collapse" `Quick test_online_changes_collapse;
+          Alcotest.test_case "invalid" `Quick test_online_invalid;
+        ] );
+      ( "qmonitor",
+        [
+          Alcotest.test_case "tracks backlog" `Quick test_qmonitor_tracks_backlog;
+          Alcotest.test_case "invalid" `Quick test_qmonitor_invalid;
+        ] );
+      ( "locate",
+        [
+          Alcotest.test_case "clean case" `Quick test_locate_clean_case;
+          Alcotest.test_case "order independent" `Quick test_locate_order_independent;
+          Alcotest.test_case "no dominant" `Quick test_locate_no_dominant;
+          Alcotest.test_case "inconsistent suffix" `Quick test_locate_inconsistent_suffix;
+          Alcotest.test_case "empty" `Quick test_locate_empty;
+        ] );
+      ( "tracefile",
+        [
+          Alcotest.test_case "events and roundtrip" `Quick test_tracefile_events_and_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_tracefile_ordering;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "brackets the point" `Slow test_bootstrap_brackets_point;
+          Alcotest.test_case "invalid" `Quick test_bootstrap_invalid;
+        ] );
+    ]

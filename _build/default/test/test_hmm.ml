@@ -1,0 +1,260 @@
+(* Tests for the HMM with missing (loss) observations: correctness of
+   the forward-backward machinery against brute-force enumeration, EM
+   behaviour, and parameter recovery on synthetic data. *)
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* A small, well-conditioned reference model: 2 hidden states, 3
+   symbols.  State 0 emits low symbols and rarely loses; state 1 emits
+   the top symbol and loses often. *)
+let reference : Hmm.t =
+  {
+    n = 2;
+    m = 3;
+    pi = [| 0.7; 0.3 |];
+    a = [| [| 0.9; 0.1 |]; [| 0.2; 0.8 |] |];
+    b = [| [| 0.6; 0.35; 0.05 |]; [| 0.05; 0.15; 0.8 |] |];
+    c = [| 0.01; 0.05; 0.4 |];
+  }
+
+(* Brute-force likelihood: sum over all hidden state paths. *)
+let brute_force_likelihood (t : Hmm.t) obs =
+  let emission i = function
+    | Some j -> t.Hmm.b.(i).(j) *. (1. -. t.Hmm.c.(j))
+    | None ->
+        let acc = ref 0. in
+        for j = 0 to t.Hmm.m - 1 do
+          acc := !acc +. (t.Hmm.b.(i).(j) *. t.Hmm.c.(j))
+        done;
+        !acc
+  in
+  let tt = Array.length obs in
+  let rec extend time state prob =
+    if time = tt then prob
+    else
+      let acc = ref 0. in
+      for next = 0 to t.Hmm.n - 1 do
+        acc :=
+          !acc
+          +. extend (time + 1) next (prob *. t.Hmm.a.(state).(next) *. emission next obs.(time + 1 - 1))
+      done;
+      !acc
+  in
+  (* Handle time 0 separately: pi * e(o_0), then extend. *)
+  let total = ref 0. in
+  for s0 = 0 to t.Hmm.n - 1 do
+    let p0 = t.Hmm.pi.(s0) *. emission s0 obs.(0) in
+    let rec walk time state prob =
+      if time = tt - 1 then prob
+      else begin
+        let acc = ref 0. in
+        for next = 0 to t.Hmm.n - 1 do
+          acc := !acc +. walk (time + 1) next (prob *. t.Hmm.a.(state).(next) *. emission next obs.(time + 1))
+        done;
+        !acc
+      end
+    in
+    total := !total +. walk 0 s0 p0
+  done;
+  ignore extend;
+  !total
+
+let short_obs = [| Some 0; Some 1; None; Some 2; Some 0; None; Some 1 |]
+
+let test_likelihood_vs_brute_force () =
+  let ll = Hmm.log_likelihood reference short_obs in
+  let bf = log (brute_force_likelihood reference short_obs) in
+  check_close 1e-9 "scaled forward matches enumeration" bf ll
+
+let test_likelihood_no_losses () =
+  let obs = [| Some 0; Some 0; Some 1; Some 2; Some 1 |] in
+  let ll = Hmm.log_likelihood reference obs in
+  let bf = log (brute_force_likelihood reference obs) in
+  check_close 1e-9 "all-observed case" bf ll
+
+let test_posteriors_normalized () =
+  let gamma = Hmm.state_posteriors reference short_obs in
+  Array.iteri
+    (fun t row ->
+      let s = Array.fold_left ( +. ) 0. row in
+      check_close 1e-9 (Printf.sprintf "gamma at %d sums to 1" t) 1. s)
+    gamma
+
+let test_posterior_tracks_emission () =
+  (* A long run of the top symbol should put the posterior firmly on
+     hidden state 1. *)
+  let obs = Array.make 10 (Some 2) in
+  let gamma = Hmm.state_posteriors reference obs in
+  Alcotest.(check bool) "state 1 dominant" true (gamma.(5).(1) > 0.9)
+
+let test_validate_accepts_reference () = Hmm.validate reference
+
+let test_validate_rejects_bad () =
+  let bad = { reference with pi = [| 0.5; 0.7 |] } in
+  Alcotest.(check bool) "bad pi rejected" true
+    (try
+       Hmm.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_init_random_valid () =
+  let rng = Stats.Rng.create 3 in
+  for _ = 1 to 20 do
+    Hmm.validate (Hmm.init_random rng ~n:3 ~m:4 ~loss_fraction:0.02)
+  done
+
+let test_init_informed_valid () =
+  let rng = Stats.Rng.create 5 in
+  let obs = [| Some 0; None; Some 1; Some 1; None; Some 0; Some 2 |] in
+  Hmm.validate (Hmm.init_informed rng ~n:2 ~m:3 obs)
+
+let test_simulate_statistics () =
+  let rng = Stats.Rng.create 7 in
+  let obs, states = Hmm.simulate rng reference ~len:50_000 in
+  Alcotest.(check int) "lengths match" (Array.length obs) (Array.length states);
+  (* Loss fraction should be near the stationary mixture's value. *)
+  let losses = Array.fold_left (fun n o -> if o = None then n + 1 else n) 0 obs in
+  let frac = float_of_int losses /. 50_000. in
+  Alcotest.(check bool) "plausible loss fraction" true (frac > 0.05 && frac < 0.25);
+  (* Hidden states must be within range. *)
+  Array.iter (fun s -> Alcotest.(check bool) "state range" true (s >= 0 && s < 2)) states
+
+let test_em_improves_likelihood () =
+  let rng = Stats.Rng.create 9 in
+  let obs, _ = Hmm.simulate rng reference ~len:3000 in
+  let t0 = Hmm.init_random rng ~n:2 ~m:3 ~loss_fraction:0.1 in
+  let ll0 = Hmm.log_likelihood t0 obs in
+  let fitted, stats = Hmm.fit_from ~max_iter:30 t0 obs in
+  Alcotest.(check bool) "EM improves the likelihood" true
+    (stats.Hmm.log_likelihood > ll0);
+  Hmm.validate fitted
+
+let test_em_monotone_steps () =
+  (* Likelihood must be non-decreasing across successive single-step
+     fits (the fundamental EM guarantee). *)
+  let rng = Stats.Rng.create 13 in
+  let obs, _ = Hmm.simulate rng reference ~len:2000 in
+  let model = ref (Hmm.init_random rng ~n:2 ~m:3 ~loss_fraction:0.1) in
+  let last = ref (Hmm.log_likelihood !model obs) in
+  for step = 1 to 15 do
+    let next, _ = Hmm.fit_from ~max_iter:1 !model obs in
+    let ll = Hmm.log_likelihood next obs in
+    if ll < !last -. 1e-6 then Alcotest.failf "likelihood decreased at step %d" step;
+    last := ll;
+    model := next
+  done
+
+let test_fit_recovers_loss_posterior () =
+  let rng = Stats.Rng.create 17 in
+  let obs, _ = Hmm.simulate rng reference ~len:30_000 in
+  (* (a) MLE consistency: EM started at the truth stays near it. *)
+  let truth_pmf = Hmm.virtual_delay_pmf reference obs in
+  let at_truth, _ = Hmm.fit_from reference obs in
+  let at_truth_pmf = Hmm.virtual_delay_pmf at_truth obs in
+  check_close 0.05 "EM started at the truth stays near it" 0.
+    (Stats.Histogram.total_variation truth_pmf at_truth_pmf);
+  (* (b) optimization competitiveness: a data-driven fit reaches a
+     likelihood close to the reference model's. *)
+  let fitted, stats = Hmm.fit ~rng ~n:2 ~m:3 obs in
+  Hmm.validate fitted;
+  let ref_ll = Hmm.log_likelihood reference obs in
+  Alcotest.(check bool) "fit within 2% of the truth's likelihood" true
+    (stats.Hmm.log_likelihood > ref_ll +. (0.02 *. ref_ll))
+
+let test_virtual_pmf_is_distribution () =
+  let pmf = Hmm.virtual_delay_pmf reference short_obs in
+  check_close 1e-9 "sums to 1" 1. (Array.fold_left ( +. ) 0. pmf);
+  Array.iter (fun p -> Alcotest.(check bool) "non-negative" true (p >= 0.)) pmf
+
+let test_virtual_pmf_requires_loss () =
+  Alcotest.check_raises "no loss"
+    (Invalid_argument "Hmm.virtual_delay_pmf: no loss in the sequence") (fun () ->
+      ignore (Hmm.virtual_delay_pmf reference [| Some 0; Some 1 |]))
+
+let test_virtual_pmf_favors_lossy_symbol () =
+  (* In the reference model symbol 2 has c = 0.4 vs 0.01/0.05: losses
+     should be attributed mostly to symbol 2 when the hidden state
+     suggests it. *)
+  let obs = [| Some 2; Some 2; None; Some 2; Some 2 |] in
+  let pmf = Hmm.virtual_delay_pmf reference obs in
+  Alcotest.(check bool) "symbol 2 dominates" true (pmf.(2) > 0.8)
+
+let test_empty_sequence_rejected () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Hmm.log_likelihood reference [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fit_invalid_restarts () =
+  let rng = Stats.Rng.create 1 in
+  Alcotest.check_raises "restarts 0" (Invalid_argument "Hmm.fit: restarts must be positive")
+    (fun () -> ignore (Hmm.fit ~restarts:0 ~rng ~n:2 ~m:3 [| Some 0; None; Some 1 |]))
+
+let test_degenerate_single_state () =
+  (* n = 1: the HMM reduces to an i.i.d. symbol model; fitting must
+     still work and produce a sane loss posterior. *)
+  let rng = Stats.Rng.create 19 in
+  let obs, _ = Hmm.simulate rng reference ~len:5000 in
+  let fitted, stats = Hmm.fit ~rng ~n:1 ~m:3 obs in
+  Alcotest.(check bool) "converged" true stats.Hmm.converged;
+  Hmm.validate fitted
+
+(* QCheck: likelihood of random small models matches brute force on
+   random short observation sequences. *)
+let model_and_obs_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let rng = Stats.Rng.create seed in
+    let model = Hmm.init_random rng ~n:2 ~m:3 ~loss_fraction:0.2 in
+    let* len = int_range 2 8 in
+    let obs, _ = Hmm.simulate rng model ~len in
+    return (model, obs))
+
+let prop_likelihood_matches_brute_force =
+  QCheck.Test.make ~name:"scaled likelihood = brute force" ~count:100
+    (QCheck.make model_and_obs_gen) (fun (model, obs) ->
+      let ll = Hmm.log_likelihood model obs in
+      let bf = log (brute_force_likelihood model obs) in
+      abs_float (ll -. bf) < 1e-8)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_likelihood_matches_brute_force ]
+
+let () =
+  Alcotest.run "hmm"
+    [
+      ( "forward-backward",
+        [
+          Alcotest.test_case "likelihood vs brute force" `Quick
+            test_likelihood_vs_brute_force;
+          Alcotest.test_case "all-observed case" `Quick test_likelihood_no_losses;
+          Alcotest.test_case "posteriors normalized" `Quick test_posteriors_normalized;
+          Alcotest.test_case "posterior tracks emission" `Quick
+            test_posterior_tracks_emission;
+          Alcotest.test_case "empty sequence" `Quick test_empty_sequence_rejected;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "validate reference" `Quick test_validate_accepts_reference;
+          Alcotest.test_case "validate rejects bad" `Quick test_validate_rejects_bad;
+          Alcotest.test_case "random init valid" `Quick test_init_random_valid;
+          Alcotest.test_case "informed init valid" `Quick test_init_informed_valid;
+          Alcotest.test_case "simulate statistics" `Quick test_simulate_statistics;
+        ] );
+      ( "em",
+        [
+          Alcotest.test_case "improves likelihood" `Quick test_em_improves_likelihood;
+          Alcotest.test_case "monotone steps" `Quick test_em_monotone_steps;
+          Alcotest.test_case "recovers loss posterior" `Slow
+            test_fit_recovers_loss_posterior;
+          Alcotest.test_case "single hidden state" `Quick test_degenerate_single_state;
+          Alcotest.test_case "invalid restarts" `Quick test_fit_invalid_restarts;
+        ] );
+      ( "virtual delay pmf",
+        [
+          Alcotest.test_case "is a distribution" `Quick test_virtual_pmf_is_distribution;
+          Alcotest.test_case "requires a loss" `Quick test_virtual_pmf_requires_loss;
+          Alcotest.test_case "favors lossy symbol" `Quick test_virtual_pmf_favors_lossy_symbol;
+        ] );
+      ("properties", qcheck_cases);
+    ]

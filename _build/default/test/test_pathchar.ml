@@ -1,0 +1,172 @@
+(* Tests for TTL/ICMP forwarding and the pathchar per-hop capacity
+   estimator. *)
+
+open Netsim
+
+let check_close eps = Alcotest.(check (float eps))
+
+let chain bandwidths =
+  let sim = Sim.create ~seed:3 () in
+  let net = Net.create sim in
+  let n = Array.length bandwidths in
+  let nodes = Array.init (n + 1) (fun i -> Net.add_node net (Printf.sprintf "n%d" i)) in
+  Array.iteri
+    (fun i bw ->
+      ignore
+        (Net.add_duplex net ~a:nodes.(i) ~b:nodes.(i + 1) ~bandwidth:bw ~delay:0.003
+           ~capacity:200_000 ()))
+    bandwidths;
+  Net.compute_routes net;
+  (sim, net, nodes)
+
+(* --- TTL / ICMP --------------------------------------------------------- *)
+
+let test_ttl_expiry_reply () =
+  let sim, net, nodes = chain [| 1e6; 1e6; 1e6 |] in
+  let got = ref None in
+  Net.set_handler net ~node:nodes.(0) ~flow:5 (fun pkt -> got := Some pkt);
+  Sim.at sim 0. (fun () ->
+      Net.inject net
+        (Packet.make ~id:0 ~flow:5 ~src:nodes.(0) ~dst:nodes.(3) ~size:500
+           ~kind:Packet.Udp ~seq:42 ~sent_at:0. ~ttl:2 ()));
+  Sim.run sim;
+  match !got with
+  | Some pkt ->
+      Alcotest.(check bool) "kind" true (pkt.Packet.kind = Packet.Icmp_ttl_exceeded);
+      Alcotest.(check int) "seq echoed" 42 pkt.Packet.seq;
+      Alcotest.(check int) "reply from the second router" nodes.(2) pkt.Packet.src
+  | None -> Alcotest.fail "no time-exceeded reply"
+
+let test_ttl_sufficient_no_reply () =
+  let sim, net, nodes = chain [| 1e6; 1e6; 1e6 |] in
+  let replies = ref 0 and delivered = ref 0 in
+  Net.set_handler net ~node:nodes.(0) ~flow:5 (fun _ -> incr replies);
+  Net.set_handler net ~node:nodes.(3) ~flow:5 (fun _ -> incr delivered);
+  Sim.at sim 0. (fun () ->
+      Net.inject net
+        (Packet.make ~id:0 ~flow:5 ~src:nodes.(0) ~dst:nodes.(3) ~size:500
+           ~kind:Packet.Udp ~seq:0 ~sent_at:0. ~ttl:3 ()));
+  Sim.run sim;
+  Alcotest.(check int) "delivered" 1 !delivered;
+  Alcotest.(check int) "no reply" 0 !replies
+
+let test_ttl_default_is_ample () =
+  let sim, net, nodes = chain (Array.make 10 1e6) in
+  let delivered = ref 0 in
+  Net.set_handler net ~node:nodes.(10) ~flow:1 (fun _ -> incr delivered);
+  Sim.at sim 0. (fun () ->
+      Net.inject net
+        (Packet.make ~id:0 ~flow:1 ~src:nodes.(0) ~dst:nodes.(10) ~size:100
+           ~kind:Packet.Udp ~seq:0 ~sent_at:0. ()));
+  Sim.run sim;
+  Alcotest.(check int) "10-hop delivery with default ttl" 1 !delivered
+
+let test_ttl_invalid () =
+  Alcotest.check_raises "non-positive ttl" (Invalid_argument "Packet.make: non-positive ttl")
+    (fun () ->
+      ignore
+        (Packet.make ~id:0 ~flow:0 ~src:0 ~dst:1 ~size:10 ~kind:Packet.Udp ~seq:0
+           ~sent_at:0. ~ttl:0 ()))
+
+(* --- fit_min_line -------------------------------------------------------- *)
+
+let test_fit_exact_line () =
+  let points = List.map (fun s -> (s, 0.01 +. (2e-6 *. float_of_int s))) [ 100; 500; 900 ] in
+  match Pathchar.fit_min_line points with
+  | Some (slope, intercept) ->
+      check_close 1e-12 "slope" 2e-6 slope;
+      check_close 1e-9 "intercept" 0.01 intercept
+  | None -> Alcotest.fail "no fit"
+
+let test_fit_insufficient () =
+  Alcotest.(check bool) "one point" true (Pathchar.fit_min_line [ (100, 0.1) ] = None);
+  Alcotest.(check bool) "no points" true (Pathchar.fit_min_line [] = None)
+
+(* --- end-to-end pathchar -------------------------------------------------- *)
+
+let run_pathchar ?probes_per_size bandwidths =
+  let sim, net, nodes = chain bandwidths in
+  let hops = Array.length bandwidths in
+  let result = ref None in
+  Sim.at sim 0. (fun () ->
+      Pathchar.run ?probes_per_size net ~src:nodes.(0) ~hops ~dst:nodes.(hops)
+        ~k:(fun r -> result := Some r));
+  Sim.run sim;
+  match !result with Some r -> r | None -> Alcotest.fail "pathchar did not finish"
+
+let test_pathchar_idle_chain () =
+  let r = run_pathchar [| 10e6; 1e6; 5e6 |] in
+  Array.iteri
+    (fun i (h : Pathchar.hop) ->
+      match h.Pathchar.capacity with
+      | Some c ->
+          let truth = [| 10e6; 1e6; 5e6 |].(i) in
+          if abs_float (c -. truth) > 0.05 *. truth then
+            Alcotest.failf "hop %d capacity %.2f Mb/s (expected %.2f)" (i + 1) (c /. 1e6)
+              (truth /. 1e6)
+      | None -> Alcotest.failf "hop %d: no capacity estimate" (i + 1))
+    r.Pathchar.hops;
+  Alcotest.(check (option int)) "narrow hop" (Some 2) r.Pathchar.narrow_hop
+
+let test_pathchar_latency_estimates () =
+  let r = run_pathchar [| 10e6; 1e6 |] in
+  Array.iter
+    (fun (h : Pathchar.hop) ->
+      match h.Pathchar.latency with
+      | Some l -> check_close 0.002 (Printf.sprintf "hop %d latency" h.Pathchar.index) 0.003 l
+      | None -> Alcotest.fail "missing latency")
+    r.Pathchar.hops
+
+let test_pathchar_with_cross_traffic () =
+  (* Moderate cross traffic on the narrow link: minimum filtering must
+     still locate it. *)
+  let sim, net, nodes = chain [| 10e6; 1e6; 5e6 |] in
+  let src = Traffic.Udp.onoff net ~src:nodes.(1) ~dst:nodes.(2) ~rate:0.5e6 ~pkt_size:1000
+      ~mean_on:0.2 ~mean_off:0.4 in
+  Traffic.Udp.start src;
+  let result = ref None in
+  Sim.at sim 0.5 (fun () ->
+      Pathchar.run ~probes_per_size:32 net ~src:nodes.(0) ~hops:3 ~dst:nodes.(3)
+        ~k:(fun r -> result := Some r));
+  Sim.run_until sim 300.;
+  match !result with
+  | None -> Alcotest.fail "pathchar did not finish"
+  | Some r -> Alcotest.(check (option int)) "narrow hop found despite load" (Some 2)
+                r.Pathchar.narrow_hop
+
+let test_pathchar_replies_counted () =
+  let r = run_pathchar ~probes_per_size:4 [| 1e6; 1e6 |] in
+  Array.iter
+    (fun (h : Pathchar.hop) ->
+      Alcotest.(check int) "all probes answered on an idle chain" 20 h.Pathchar.replies)
+    r.Pathchar.hops
+
+let test_pathchar_invalid () =
+  let _, net, nodes = chain [| 1e6 |] in
+  Alcotest.check_raises "hops <= 0" (Invalid_argument "Pathchar.run: hops <= 0")
+    (fun () -> Pathchar.run net ~src:nodes.(0) ~hops:0 ~dst:nodes.(1) ~k:(fun _ -> ()))
+
+let () =
+  Alcotest.run "pathchar"
+    [
+      ( "ttl",
+        [
+          Alcotest.test_case "expiry reply" `Quick test_ttl_expiry_reply;
+          Alcotest.test_case "sufficient ttl" `Quick test_ttl_sufficient_no_reply;
+          Alcotest.test_case "default ample" `Quick test_ttl_default_is_ample;
+          Alcotest.test_case "invalid" `Quick test_ttl_invalid;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "exact line" `Quick test_fit_exact_line;
+          Alcotest.test_case "insufficient points" `Quick test_fit_insufficient;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "idle chain capacities" `Quick test_pathchar_idle_chain;
+          Alcotest.test_case "latency estimates" `Quick test_pathchar_latency_estimates;
+          Alcotest.test_case "cross traffic" `Slow test_pathchar_with_cross_traffic;
+          Alcotest.test_case "reply accounting" `Quick test_pathchar_replies_counted;
+          Alcotest.test_case "invalid args" `Quick test_pathchar_invalid;
+        ] );
+    ]

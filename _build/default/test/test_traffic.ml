@@ -1,0 +1,263 @@
+(* Tests for the traffic generators: TCP, UDP sources, workloads. *)
+
+open Netsim
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* Two hosts joined by one duplex link. *)
+let two_hosts ?(bandwidth = 1e6) ?(capacity = 20_000) ?(delay = 0.01) () =
+  let sim = Sim.create ~seed:7 () in
+  let net = Net.create sim in
+  let a = Net.add_node net "a" and b = Net.add_node net "b" in
+  let fwd, _ = Net.add_duplex net ~a ~b ~bandwidth ~delay ~capacity () in
+  Net.compute_routes net;
+  (sim, net, a, b, fwd)
+
+(* --- TCP --------------------------------------------------------------- *)
+
+let test_tcp_transfer_completes () =
+  let sim, net, a, b, _ = two_hosts () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.supply conn 50;
+  let completed_at = ref None in
+  Traffic.Tcp.on_complete conn (fun () -> completed_at := Some (Sim.now sim));
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 60.;
+  (match !completed_at with
+  | None -> Alcotest.fail "transfer did not complete"
+  | Some t -> Alcotest.(check bool) "took a sensible time" true (t > 0.1 && t < 10.));
+  Alcotest.(check int) "all segments delivered in order" 50
+    (Traffic.Tcp.delivered_in_order conn);
+  Alcotest.(check int) "all acked" 50 (Traffic.Tcp.highest_acked conn)
+
+let test_tcp_no_loss_no_retransmit () =
+  let sim, net, a, b, _ = two_hosts ~capacity:1_000_000 () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.supply conn 100;
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 60.;
+  Alcotest.(check int) "no retransmissions on a clean path" 0
+    (Traffic.Tcp.retransmissions conn);
+  Alcotest.(check int) "no timeouts" 0 (Traffic.Tcp.timeouts conn);
+  Alcotest.(check int) "exactly 100 transmissions" 100 (Traffic.Tcp.segments_sent conn)
+
+let test_tcp_slow_start_growth () =
+  let sim, net, a, b, _ = two_hosts ~bandwidth:10e6 ~capacity:1_000_000 () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.set_unlimited conn;
+  Traffic.Tcp.start conn;
+  (* After a few RTTs of slow start, cwnd should have grown well beyond
+     its initial value of 2. *)
+  Sim.run_until sim 0.5;
+  Alcotest.(check bool) "cwnd grew" true (Traffic.Tcp.cwnd conn > 8.)
+
+let test_tcp_recovers_from_loss () =
+  (* Tiny buffer: losses are inevitable; the transfer must still finish
+     with correct in-order delivery. *)
+  let sim, net, a, b, link = two_hosts ~capacity:4_000 () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.supply conn 300;
+  let done_ = ref false in
+  Traffic.Tcp.on_complete conn (fun () -> done_ := true);
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 300.;
+  Alcotest.(check bool) "completed despite losses" true !done_;
+  Alcotest.(check bool) "losses occurred" true (Link.drops link > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Traffic.Tcp.retransmissions conn > 0);
+  Alcotest.(check int) "receiver got everything in order" 300
+    (Traffic.Tcp.delivered_in_order conn)
+
+let test_tcp_congestion_response () =
+  let sim, net, a, b, _ = two_hosts ~capacity:4_000 () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.set_unlimited conn;
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 30.;
+  (* With an 8 ms/packet bottleneck and ~4 packets of buffering, cwnd
+     must stay small; ssthresh must have been reduced from its initial
+     64. *)
+  Alcotest.(check bool) "cwnd bounded by path capacity" true (Traffic.Tcp.cwnd conn < 20.);
+  Alcotest.(check bool) "ssthresh adjusted" true (Traffic.Tcp.ssthresh conn < 64.)
+
+let test_tcp_throughput_matches_bottleneck () =
+  let sim, net, a, b, link = two_hosts ~bandwidth:1e6 ~capacity:20_000 () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.set_unlimited conn;
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 60.;
+  let util = Link.busy_time link /. 60. in
+  Alcotest.(check bool) "utilization above 85%" true (util > 0.85)
+
+let test_tcp_rto_sanity () =
+  let sim, net, a, b, _ = two_hosts ~capacity:1_000_000 () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.supply conn 20;
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 10.;
+  let rto = Traffic.Tcp.rto conn in
+  Alcotest.(check bool) "rto within configured clamp" true (rto >= 0.2 && rto <= 60.)
+
+let test_tcp_on_complete_once () =
+  let sim, net, a, b, _ = two_hosts () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.supply conn 5;
+  let calls = ref 0 in
+  Traffic.Tcp.on_complete conn (fun () -> incr calls);
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 30.;
+  Alcotest.(check int) "completion fires once" 1 !calls
+
+let test_tcp_two_flows_share () =
+  let sim, net, a, b, link = two_hosts ~capacity:20_000 () in
+  let c1 = Traffic.Tcp.create net ~src:a ~dst:b () in
+  let c2 = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Traffic.Tcp.set_unlimited c1;
+  Traffic.Tcp.set_unlimited c2;
+  Traffic.Tcp.start c1;
+  Sim.at sim 0.5 (fun () -> Traffic.Tcp.start c2);
+  Sim.run_until sim 120.;
+  let d1 = Traffic.Tcp.delivered_in_order c1 and d2 = Traffic.Tcp.delivered_in_order c2 in
+  Alcotest.(check bool) "both make progress" true (d1 > 500 && d2 > 500);
+  let ratio = float_of_int (max d1 d2) /. float_of_int (min d1 d2) in
+  Alcotest.(check bool) "rough fairness (within 4x)" true (ratio < 4.);
+  Alcotest.(check bool) "bottleneck saturated" true (Link.busy_time link /. 120. > 0.9)
+
+let test_tcp_flow_ids_distinct () =
+  let _, net, a, b, _ = two_hosts () in
+  let c1 = Traffic.Tcp.create net ~src:a ~dst:b () in
+  let c2 = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Alcotest.(check bool) "flows distinct" true (Traffic.Tcp.flow c1 <> Traffic.Tcp.flow c2)
+
+let test_tcp_supply_invalid () =
+  let _, net, a, b, _ = two_hosts () in
+  let conn = Traffic.Tcp.create net ~src:a ~dst:b () in
+  Alcotest.check_raises "negative supply" (Invalid_argument "Tcp.supply: negative")
+    (fun () -> Traffic.Tcp.supply conn (-1))
+
+(* --- UDP --------------------------------------------------------------- *)
+
+let test_cbr_rate () =
+  let sim, net, a, b, _ = two_hosts ~bandwidth:10e6 ~capacity:1_000_000 () in
+  let src = Traffic.Udp.cbr net ~src:a ~dst:b ~rate:1e6 ~pkt_size:1000 in
+  Traffic.Udp.start src;
+  Sim.run_until sim 10.;
+  Traffic.Udp.stop src;
+  Sim.run_until sim 11.;
+  (* 1 Mb/s = 125 packets/s of 1000 bytes. *)
+  check_close 5. "cbr packet count" 1250. (float_of_int (Traffic.Udp.sent src))
+
+let test_cbr_received_counts () =
+  let sim, net, a, b, _ = two_hosts ~bandwidth:10e6 ~capacity:1_000_000 () in
+  let src = Traffic.Udp.cbr net ~src:a ~dst:b ~rate:1e6 ~pkt_size:1000 in
+  Traffic.Udp.start src;
+  Sim.run_until sim 5.;
+  Traffic.Udp.stop src;
+  Sim.run_until sim 6.;
+  Alcotest.(check int) "received = sent on clean path" (Traffic.Udp.sent src)
+    (Traffic.Udp.received src)
+
+let test_onoff_duty_cycle () =
+  let sim, net, a, b, _ = two_hosts ~bandwidth:10e6 ~capacity:1_000_000 () in
+  let src =
+    Traffic.Udp.onoff net ~src:a ~dst:b ~rate:2e6 ~pkt_size:1000 ~mean_on:0.5
+      ~mean_off:0.5
+  in
+  Traffic.Udp.start src;
+  Sim.run_until sim 200.;
+  Traffic.Udp.stop src;
+  (* Duty 50% at 250 pkt/s while on => ~125 pkt/s average. *)
+  let rate = float_of_int (Traffic.Udp.sent src) /. 200. in
+  Alcotest.(check bool) "on-off average rate within 20%" true
+    (rate > 100. && rate < 150.)
+
+let test_pulse_periodicity () =
+  let sim, net, a, b, _ = two_hosts ~bandwidth:10e6 ~capacity:1_000_000 () in
+  let src =
+    Traffic.Udp.pulse net ~src:a ~dst:b ~rate:1e6 ~pkt_size:1000 ~on_duration:0.4
+      ~period:2.
+  in
+  Traffic.Udp.start src;
+  Sim.run_until sim 20.;
+  Traffic.Udp.stop src;
+  (* ~10 pulses x 0.4 s x 125 pkt/s = ~500 packets. *)
+  let sent = Traffic.Udp.sent src in
+  Alcotest.(check bool) "pulse volume in expected band" true (sent > 350 && sent < 650)
+
+let test_udp_invalid () =
+  let _, net, a, b, _ = two_hosts () in
+  Alcotest.check_raises "bad rate" (Invalid_argument "Udp: rate <= 0") (fun () ->
+      ignore (Traffic.Udp.cbr net ~src:a ~dst:b ~rate:0. ~pkt_size:100));
+  Alcotest.check_raises "bad pulse" (Invalid_argument "Udp.pulse: need 0 < on_duration < period")
+    (fun () ->
+      ignore
+        (Traffic.Udp.pulse net ~src:a ~dst:b ~rate:1e6 ~pkt_size:100 ~on_duration:2.
+           ~period:1.))
+
+(* --- Workloads ---------------------------------------------------------- *)
+
+let test_ftp_is_greedy () =
+  let sim, net, a, b, _ = two_hosts () in
+  let conn = Traffic.Workload.ftp net ~src:a ~dst:b in
+  Traffic.Tcp.start conn;
+  Sim.run_until sim 30.;
+  Alcotest.(check bool) "keeps sending" true (Traffic.Tcp.delivered_in_order conn > 1000)
+
+let test_ftp_at_start_time () =
+  let sim, net, a, b, _ = two_hosts () in
+  let conn = Traffic.Workload.ftp_at net ~src:a ~dst:b ~at:5. in
+  Sim.run_until sim 4.9;
+  Alcotest.(check int) "nothing before start" 0 (Traffic.Tcp.segments_sent conn);
+  Sim.run_until sim 10.;
+  Alcotest.(check bool) "sending after start" true (Traffic.Tcp.segments_sent conn > 0)
+
+let test_http_progress () =
+  let sim, net, a, b, _ = two_hosts ~bandwidth:10e6 ~capacity:1_000_000 () in
+  let wl = Traffic.Workload.http net ~src:a ~dst:b ~session_rate:1.0 in
+  Traffic.Workload.http_start wl;
+  Sim.run_until sim 60.;
+  Alcotest.(check bool) "sessions started" true
+    (Traffic.Workload.http_sessions_started wl > 20);
+  Alcotest.(check bool) "pages completed" true
+    (Traffic.Workload.http_pages_completed wl > 20)
+
+let test_http_invalid () =
+  let _, net, a, b, _ = two_hosts () in
+  Alcotest.check_raises "bad rate" (Invalid_argument "Workload.http: session_rate <= 0")
+    (fun () -> ignore (Traffic.Workload.http net ~src:a ~dst:b ~session_rate:0.))
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "tcp",
+        [
+          Alcotest.test_case "transfer completes" `Quick test_tcp_transfer_completes;
+          Alcotest.test_case "clean path, no retransmit" `Quick
+            test_tcp_no_loss_no_retransmit;
+          Alcotest.test_case "slow start growth" `Quick test_tcp_slow_start_growth;
+          Alcotest.test_case "recovers from loss" `Quick test_tcp_recovers_from_loss;
+          Alcotest.test_case "congestion response" `Quick test_tcp_congestion_response;
+          Alcotest.test_case "saturates bottleneck" `Quick
+            test_tcp_throughput_matches_bottleneck;
+          Alcotest.test_case "rto sanity" `Quick test_tcp_rto_sanity;
+          Alcotest.test_case "on_complete once" `Quick test_tcp_on_complete_once;
+          Alcotest.test_case "two flows share" `Quick test_tcp_two_flows_share;
+          Alcotest.test_case "distinct flow ids" `Quick test_tcp_flow_ids_distinct;
+          Alcotest.test_case "supply invalid" `Quick test_tcp_supply_invalid;
+        ] );
+      ( "udp",
+        [
+          Alcotest.test_case "cbr rate" `Quick test_cbr_rate;
+          Alcotest.test_case "cbr received" `Quick test_cbr_received_counts;
+          Alcotest.test_case "onoff duty cycle" `Quick test_onoff_duty_cycle;
+          Alcotest.test_case "pulse periodicity" `Quick test_pulse_periodicity;
+          Alcotest.test_case "invalid args" `Quick test_udp_invalid;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "ftp greedy" `Quick test_ftp_is_greedy;
+          Alcotest.test_case "ftp start time" `Quick test_ftp_at_start_time;
+          Alcotest.test_case "http progress" `Quick test_http_progress;
+          Alcotest.test_case "http invalid" `Quick test_http_invalid;
+        ] );
+    ]
