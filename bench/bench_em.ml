@@ -1,0 +1,116 @@
+(* EM kernel benchmark: fit wall-time and allocation per configuration,
+   serial vs domain-parallel restarts, emitted as BENCH_em.json.
+
+   Schema and the determinism contract are documented in DESIGN.md
+   ("BENCH_em.json"). *)
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Gc.allocated_bytes only counts the calling domain's allocation in
+   OCaml 5, so the parallel runs under-report; the serial figure is the
+   honest per-fit allocation cost.  Reported as-is with this caveat in
+   the JSON. *)
+let alloc_of f =
+  let a0 = Gc.allocated_bytes () in
+  let r = f () in
+  (r, Gc.allocated_bytes () -. a0)
+
+let synth_obs ~seed ~n ~m ~t =
+  let rng = Stats.Rng.create seed in
+  let model =
+    Mmhd.init_random rng ~n ~m ~loss_fraction:0.05
+  in
+  let obs, _ = Mmhd.simulate rng model ~len:t in
+  (* EM needs at least one loss and one observation; the simulated loss
+     fraction makes both overwhelmingly likely, but force the corner
+     for tiny smoke sizes. *)
+  obs.(0) <- None;
+  obs.(1) <- Some 0;
+  obs
+
+let model_fingerprint (m : Mmhd.t) =
+  (* Order-sensitive fold over every parameter: any bitwise difference
+     between two fitted models changes the fingerprint. *)
+  let h = ref 0L in
+  let mix x =
+    h := Int64.add (Int64.mul !h 1000003L) (Int64.bits_of_float x)
+  in
+  Array.iter mix m.Mmhd.pi;
+  Array.iter (Array.iter mix) m.Mmhd.a;
+  Array.iter mix m.Mmhd.c;
+  Int64.to_string !h
+
+let run_case ~smoke ~t ~n buf first =
+  let m = 5 and restarts = 4 in
+  let max_iter = if smoke then 5 else 15 in
+  let obs = synth_obs ~seed:(0x5EED + t + n) ~n ~m ~t in
+  let fit ~domains =
+    let rng = Stats.Rng.create 42 in
+    Mmhd.fit ~eps:1e-4 ~max_iter ~restarts ~domains ~rng ~n ~m obs
+  in
+  (* Warm the domain workspace so the timed serial run measures the
+     steady allocation-free state, not first-call buffer growth. *)
+  ignore (fit ~domains:1);
+  let (model_serial, stats_serial), alloc_serial =
+    alloc_of (fun () -> fit ~domains:1)
+  in
+  let (_, serial_s) = time_of (fun () -> fit ~domains:1) in
+  let ((model_par, _), par_s) = time_of (fun () -> fit ~domains:4) in
+  let identical = model_fingerprint model_serial = model_fingerprint model_par in
+  if not identical then begin
+    Printf.eprintf "FATAL: parallel winner differs from serial winner (T=%d n=%d)\n" t n;
+    exit 1
+  end;
+  if not first then Buffer.add_string buf ",\n";
+  Printf.bprintf buf
+    "    {\"t\": %d, \"n\": %d, \"m\": %d, \"restarts\": %d, \"max_iter\": %d,\n\
+    \     \"serial_seconds\": %.6f, \"parallel4_seconds\": %.6f, \"speedup\": %.3f,\n\
+    \     \"serial_alloc_bytes\": %.0f, \"alloc_bytes_per_obs_iter\": %.2f,\n\
+    \     \"iterations\": %d, \"log_likelihood\": %.6f,\n\
+    \     \"winner_identical_to_serial\": %b}"
+    t n m restarts max_iter serial_s par_s (serial_s /. par_s) alloc_serial
+    (alloc_serial /. float_of_int (t * stats_serial.Mmhd.iterations * restarts))
+    stats_serial.Mmhd.iterations stats_serial.Mmhd.log_likelihood identical
+
+let () =
+  let smoke = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--smoke" -> smoke := true
+        | _ ->
+            Printf.eprintf "bench_em: unknown argument %S\nusage: bench_em [--smoke]\n" arg;
+            exit 2)
+    Sys.argv;
+  let smoke = !smoke in
+  let sizes = if smoke then [ 2_000 ] else [ 5_000; 20_000; 80_000 ] in
+  let ns = [ 2; 4 ] in
+  let cores = Domain.recommended_domain_count () in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n  \"bench\": \"em_fit\",\n  \"model\": \"mmhd\",\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"note\": \"parallel4 races 4 EM restarts on 4 domains; with fewer physical cores the speedup cannot reach the domain count. serial_alloc_bytes is the calling domain's Gc.allocated_bytes delta for one full fit (restarts included).\",\n\
+    \  \"cases\": [\n"
+    cores;
+  let first = ref true in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun n ->
+          Printf.eprintf "bench_em: T=%d n=%d...\n%!" t n;
+          run_case ~smoke ~t ~n buf !first;
+          first := false)
+        ns)
+    sizes;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let path = if smoke then "BENCH_em.smoke.json" else "BENCH_em.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.eprintf "bench_em: wrote %s\n%!" path

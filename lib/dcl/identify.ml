@@ -7,6 +7,7 @@ type params = {
   em_eps : float;
   em_max_iter : int;
   restarts : int;
+  domains : int;
   prop_delay : Discretize.prop_delay;
   sdcl_tolerance : float;
   wdcl_tolerance : float;
@@ -22,6 +23,7 @@ let default_params =
     em_eps = 1e-3;
     em_max_iter = 300;
     restarts = 2;
+    domains = 1;
     prop_delay = Discretize.From_trace;
     sdcl_tolerance = Tests.default_tolerance;
     wdcl_tolerance = 0.04;
@@ -60,14 +62,14 @@ let model_pmf params ~rng symbols =
       let n = match params.model with Model_markov -> 1 | Model_mmhd | Model_hmm -> params.n in
       let model, stats =
         Mmhd.fit ~eps:params.em_eps ~max_iter:params.em_max_iter ~restarts:params.restarts
-          ~rng ~n ~m:params.m symbols
+          ~domains:params.domains ~rng ~n ~m:params.m symbols
       in
       ( Mmhd.virtual_delay_pmf model symbols,
         (stats.Mmhd.iterations, stats.Mmhd.log_likelihood, stats.Mmhd.converged) )
   | Model_hmm ->
       let model, stats =
         Hmm.fit ~eps:params.em_eps ~max_iter:params.em_max_iter ~restarts:params.restarts
-          ~rng ~n:params.n ~m:params.m symbols
+          ~domains:params.domains ~rng ~n:params.n ~m:params.m symbols
       in
       ( Hmm.virtual_delay_pmf model symbols,
         (stats.Hmm.iterations, stats.Hmm.log_likelihood, stats.Hmm.converged) )

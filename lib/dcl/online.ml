@@ -5,42 +5,50 @@ type sample = {
   loss_rate : float;
 }
 
-let scan ?(params = Identify.default_params) ~rng ~window ~stride trace =
+let scan ?(params = Identify.default_params) ?(domains = 1) ~rng ~window ~stride
+    trace =
   if stride <= 0. then invalid_arg "Online.scan: stride <= 0";
   let duration = Probe.Trace.duration trace in
   if window <= 0. || window > duration then
     invalid_arg "Online.scan: window must be in (0, duration]";
   let interval = trace.Probe.Trace.interval in
-  let per_window = int_of_float (ceil (window /. interval)) in
   let n = Probe.Trace.length trace in
-  let rec walk t acc =
-    let pos = int_of_float (t /. interval) in
-    if pos + per_window > n then List.rev acc
-    else begin
-      let segment = Probe.Trace.sub trace ~pos ~len:per_window in
-      let last = segment.Probe.Trace.records.(per_window - 1).Probe.Trace.send_time in
-      let sample =
-        if Identify.identifiable segment then begin
-          let r = Identify.run ~params ~rng segment in
-          {
-            at = last;
-            conclusion = Some r.Identify.conclusion;
-            f_at_two_d_star = r.Identify.wdcl.Tests.f_at_two_d_star;
-            loss_rate = r.Identify.loss_rate;
-          }
-        end
-        else
-          {
-            at = last;
-            conclusion = None;
-            f_at_two_d_star = Float.nan;
-            loss_rate = Probe.Trace.loss_rate segment;
-          }
-      in
-      walk (t +. stride) (sample :: acc)
+  (* Window positions are walked in integer record indices.  The
+     previous implementation accumulated [t +. stride] in floats and
+     recovered the record index as [int_of_float (t /. interval)]; when
+     stride is not exactly representable (e.g. 0.1) the accumulated sum
+     drifts across record boundaries, duplicating some windows and
+     skipping others.  Rounding the stride to a whole number of records
+     once makes every window position exact. *)
+  let per_window = int_of_float (ceil (window /. interval)) in
+  let stride_rec = max 1 (int_of_float (Float.round (stride /. interval))) in
+  let count = if per_window > n then 0 else ((n - per_window) / stride_rec) + 1 in
+  (* One pre-split RNG per window: each window's identification is a
+     pure function of its index, so the samples are identical whether
+     the windows are evaluated serially or across domains. *)
+  let rngs = Array.init count (fun _ -> Stats.Rng.split rng) in
+  let eval w =
+    let pos = w * stride_rec in
+    let segment = Probe.Trace.sub trace ~pos ~len:per_window in
+    let last = segment.Probe.Trace.records.(per_window - 1).Probe.Trace.send_time in
+    if Identify.identifiable segment then begin
+      let r = Identify.run ~params ~rng:rngs.(w) segment in
+      {
+        at = last;
+        conclusion = Some r.Identify.conclusion;
+        f_at_two_d_star = r.Identify.wdcl.Tests.f_at_two_d_star;
+        loss_rate = r.Identify.loss_rate;
+      }
     end
+    else
+      {
+        at = last;
+        conclusion = None;
+        f_at_two_d_star = Float.nan;
+        loss_rate = Probe.Trace.loss_rate segment;
+      }
   in
-  walk 0. []
+  Array.to_list (Stats.Par.map_range ~domains count eval)
 
 let changes samples =
   let rec collapse prev acc = function

@@ -19,6 +19,7 @@ type sample = {
 
 val scan :
   ?params:Identify.params ->
+  ?domains:int ->
   rng:Stats.Rng.t ->
   window:float ->
   stride:float ->
@@ -27,7 +28,16 @@ val scan :
 (** [scan ~rng ~window ~stride trace] evaluates the identification on
     [\[t, t + window\]] for [t = 0, stride, 2*stride, ...] (times
     relative to the trace start) and returns one sample per window, in
-    order.  Requires [0 < stride] and [0 < window <= duration]. *)
+    order.  Requires [0 < stride] and [0 < window <= duration].
+
+    Window positions are walked in integer record indices (the stride
+    is rounded once to a whole number of probe intervals, minimum one
+    record), so the scan emits exactly
+    [(length - per_window) / stride_records + 1] samples with no
+    float-accumulation drift.  Each window's identification draws from
+    its own RNG pre-split from [rng], so with [domains > 1] the windows
+    are evaluated on that many concurrent multicore domains and the
+    samples are identical to the serial run. *)
 
 val changes : sample list -> (float * Identify.conclusion option) list
 (** Collapse a scan to its change points: the first sample and every

@@ -1,0 +1,525 @@
+type model = {
+  s : int;
+  m : int;
+  pi : float array;
+  a : float array;
+  b : float array;
+  c : float array;
+}
+
+type observation = int option
+type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+exception Zero_likelihood of int
+
+(* Floors applied by the M-step so no re-estimated emission or
+   transition probability can collapse to exactly zero (a collapsed row
+   makes a later observation impossible and used to abort the whole
+   fit).  Small enough not to disturb the EM fixed points at the
+   paper's 1e-3 convergence threshold. *)
+let prob_floor = 1e-12
+let c_floor = 1e-9
+
+type workspace = {
+  (* T*S sweep buffers, row-major by time. *)
+  mutable alpha : float array;
+  mutable beta : float array;
+  mutable scale : float array; (* T *)
+  mutable tmp : float array; (* S *)
+  (* Per-iteration emission tables. *)
+  mutable e_obs : float array; (* M*S, symbol-major: e_obs.(j*s + st) *)
+  mutable e_loss : float array; (* S *)
+  mutable w : float array; (* S*M, state-major loss-symbol weights *)
+  (* Active-state lists: row j < m lists states that can emit symbol j,
+     row m lists states with positive loss emission. *)
+  mutable act : int array; (* (M+1)*S *)
+  mutable act_len : int array; (* M+1 *)
+  (* EM accumulators. *)
+  mutable xi : float array; (* S*S *)
+  mutable gamma_sum : float array; (* S *)
+  mutable count_obs : float array; (* S*M *)
+  mutable count_loss : float array; (* S*M *)
+  mutable cap_t : int;
+  mutable cap_s : int;
+  mutable cap_m : int;
+}
+
+let workspace () =
+  {
+    alpha = [||];
+    beta = [||];
+    scale = [||];
+    tmp = [||];
+    e_obs = [||];
+    e_loss = [||];
+    w = [||];
+    act = [||];
+    act_len = [||];
+    xi = [||];
+    gamma_sum = [||];
+    count_obs = [||];
+    count_loss = [||];
+    cap_t = 0;
+    cap_s = 0;
+    cap_m = 0;
+  }
+
+(* Grow (never shrink) every buffer to hold a [tt]-step sweep of an
+   [s]-state, [m]-symbol model.  Amortized: a workspace reused across
+   iterations and restarts allocates nothing after the first call. *)
+let reserve ws ~tt ~s ~m =
+  if s > ws.cap_s || m > ws.cap_m then begin
+    let cs = max s ws.cap_s and cm = max m ws.cap_m in
+    ws.tmp <- Array.make cs 0.;
+    ws.e_obs <- Array.make (cm * cs) 0.;
+    ws.e_loss <- Array.make cs 0.;
+    ws.w <- Array.make (cs * cm) 0.;
+    ws.act <- Array.make ((cm + 1) * cs) 0;
+    ws.act_len <- Array.make (cm + 1) 0;
+    ws.xi <- Array.make (cs * cs) 0.;
+    ws.gamma_sum <- Array.make cs 0.;
+    ws.count_obs <- Array.make (cs * cm) 0.;
+    ws.count_loss <- Array.make (cs * cm) 0.;
+    ws.cap_s <- cs;
+    ws.cap_m <- cm;
+    (* Force the T*S buffers to regrow with the new row width. *)
+    ws.cap_t <- 0
+  end;
+  if tt > ws.cap_t then begin
+    let ct = max tt ws.cap_t in
+    ws.alpha <- Array.make (ct * ws.cap_s) 0.;
+    ws.beta <- Array.make (ct * ws.cap_s) 0.;
+    ws.scale <- Array.make ct 0.;
+    ws.cap_t <- ct
+  end
+
+(* Fill the emission tables and active-state lists for [t].  The
+   missing-value emission (paper Section V) lives here, shared by both
+   model families:
+     e(st, Some j) = b_st(j) * (1 - c_j)
+     e(st, None)   = sum_j b_st(j) * c_j
+     w(st, j)      = b_st(j) * c_j / e(st, None)   (loss-symbol posterior) *)
+let prepare ws (t : model) =
+  let s = t.s and m = t.m in
+  let b = t.b and c = t.c in
+  let e_obs = ws.e_obs and e_loss = ws.e_loss and w = ws.w in
+  let act = ws.act and act_len = ws.act_len in
+  for j = 0 to m - 1 do
+    let one_minus_c = 1. -. Array.unsafe_get c j in
+    let row = j * s in
+    let len = ref 0 in
+    for st = 0 to s - 1 do
+      let e = Array.unsafe_get b ((st * m) + j) *. one_minus_c in
+      Array.unsafe_set e_obs (row + st) e;
+      if e > 0. then begin
+        Array.unsafe_set act (row + !len) st;
+        incr len
+      end
+    done;
+    act_len.(j) <- !len
+  done;
+  let loss_row = m * s in
+  let loss_len = ref 0 in
+  for st = 0 to s - 1 do
+    let acc = ref 0. in
+    let base = st * m in
+    for j = 0 to m - 1 do
+      acc := !acc +. (Array.unsafe_get b (base + j) *. Array.unsafe_get c j)
+    done;
+    let e = !acc in
+    Array.unsafe_set e_loss st e;
+    if e > 0. then begin
+      Array.unsafe_set act (loss_row + !loss_len) st;
+      incr loss_len;
+      let inv = 1. /. e in
+      for j = 0 to m - 1 do
+        Array.unsafe_set w (base + j)
+          (Array.unsafe_get b (base + j) *. Array.unsafe_get c j *. inv)
+      done
+    end
+    else
+      for j = 0 to m - 1 do
+        Array.unsafe_set w (base + j) 0.
+      done
+  done;
+  act_len.(m) <- !loss_len
+
+(* Row of the active-set table for an observation. *)
+let act_row (t : model) = function Some j -> j | None -> t.m
+
+let emission_at ws (t : model) st = function
+  | Some j -> Array.unsafe_get ws.e_obs ((j * t.s) + st)
+  | None -> Array.unsafe_get ws.e_loss st
+
+(* One forward step over the active sets, reading the emission for
+   state [st'] at [eb.(eoff + st')]; writes unnormalized alpha values
+   and the scale into the workspace directly so no float crosses a
+   function boundary (a non-inlined float return is boxed, and these
+   run once per active state per time step). *)
+let fwd_step a act alpha eb ~eoff ~base ~len ~basep ~lenp ~row ~rowp ~s scale
+    ~time =
+  let sc = ref 0. in
+  for idx = 0 to len - 1 do
+    let st' = Array.unsafe_get act (base + idx) in
+    let acc = ref 0. in
+    for idxp = 0 to lenp - 1 do
+      let st = Array.unsafe_get act (basep + idxp) in
+      acc :=
+        !acc
+        +. Array.unsafe_get alpha (rowp + st) *. Array.unsafe_get a ((st * s) + st')
+    done;
+    let v = !acc *. Array.unsafe_get eb (eoff + st') in
+    Array.unsafe_set alpha (row + st') v;
+    sc := !sc +. v
+  done;
+  Array.unsafe_set scale time !sc
+
+(* Scaled forward pass (Rabiner's \hat{alpha}); returns the
+   log-likelihood.  Only slots listed in the time's active set are
+   written; every later read is masked by the same active set, so the
+   untouched slots are never observed. *)
+let forward ws (t : model) obs =
+  let tt = Array.length obs in
+  let s = t.s in
+  let alpha = ws.alpha and scale = ws.scale and a = t.a in
+  let act = ws.act and act_len = ws.act_len in
+  let ll = ref 0. in
+  let r0 = act_row t obs.(0) in
+  let base0 = r0 * s and len0 = act_len.(r0) in
+  let s0 = ref 0. in
+  for idx = 0 to len0 - 1 do
+    let st = Array.unsafe_get act (base0 + idx) in
+    let v = Array.unsafe_get t.pi st *. emission_at ws t st obs.(0) in
+    Array.unsafe_set alpha st v;
+    s0 := !s0 +. v
+  done;
+  if !s0 <= 0. then raise (Zero_likelihood 0);
+  scale.(0) <- !s0;
+  ll := log !s0;
+  let inv0 = 1. /. !s0 in
+  for idx = 0 to len0 - 1 do
+    let st = Array.unsafe_get act (base0 + idx) in
+    Array.unsafe_set alpha st (Array.unsafe_get alpha st *. inv0)
+  done;
+  for time = 1 to tt - 1 do
+    let o = obs.(time) in
+    let r = act_row t o and rp = act_row t obs.(time - 1) in
+    let base = r * s and len = act_len.(r) in
+    let basep = rp * s and lenp = act_len.(rp) in
+    let row = time * s and rowp = (time - 1) * s in
+    (match o with
+    | Some j ->
+        fwd_step a act alpha ws.e_obs ~eoff:(j * s) ~base ~len ~basep ~lenp ~row
+          ~rowp ~s scale ~time
+    | None ->
+        fwd_step a act alpha ws.e_loss ~eoff:0 ~base ~len ~basep ~lenp ~row ~rowp
+          ~s scale ~time);
+    let sc = Array.unsafe_get scale time in
+    if sc <= 0. then raise (Zero_likelihood time);
+    ll := !ll +. log sc;
+    let inv = 1. /. sc in
+    for idx = 0 to len - 1 do
+      let st' = Array.unsafe_get act (base + idx) in
+      Array.unsafe_set alpha ((row + st')) (Array.unsafe_get alpha (row + st') *. inv)
+    done
+  done;
+  !ll
+
+(* Fill [tmp.(st')] = e(st', o1) * beta.(row1 + st') / scale.(time1)
+   for the active states of [o1]; shared by the backward pass and the
+   xi accumulation of the EM step.  Specialized per observation kind,
+   and the scale is re-read from the workspace array rather than passed
+   as a float argument, for the same boxing reason as {!fwd_step}. *)
+let fill_tmp ws (t : model) o1 ~base1 ~len1 ~row1 ~time1 =
+  let act = ws.act and beta = ws.beta and tmp = ws.tmp in
+  let inv = 1. /. Array.unsafe_get ws.scale time1 in
+  match o1 with
+  | Some j ->
+      let eb = ws.e_obs and eoff = j * t.s in
+      for idx1 = 0 to len1 - 1 do
+        let st' = Array.unsafe_get act (base1 + idx1) in
+        Array.unsafe_set tmp st'
+          (Array.unsafe_get eb (eoff + st')
+          *. Array.unsafe_get beta (row1 + st')
+          *. inv)
+      done
+  | None ->
+      let eb = ws.e_loss in
+      for idx1 = 0 to len1 - 1 do
+        let st' = Array.unsafe_get act (base1 + idx1) in
+        Array.unsafe_set tmp st'
+          (Array.unsafe_get eb st' *. Array.unsafe_get beta (row1 + st') *. inv)
+      done
+
+(* Scaled backward pass; requires a completed forward pass (scales). *)
+let backward ws (t : model) obs =
+  let tt = Array.length obs in
+  let s = t.s in
+  let beta = ws.beta and tmp = ws.tmp and a = t.a in
+  let act = ws.act and act_len = ws.act_len in
+  let rl = act_row t obs.(tt - 1) in
+  let basel = rl * s and lenl = act_len.(rl) in
+  let rowl = (tt - 1) * s in
+  for idx = 0 to lenl - 1 do
+    Array.unsafe_set beta (rowl + Array.unsafe_get act (basel + idx)) 1.
+  done;
+  for time = tt - 2 downto 0 do
+    let o1 = obs.(time + 1) in
+    let r = act_row t obs.(time) and r1 = act_row t o1 in
+    let base = r * s and len = act_len.(r) in
+    let base1 = r1 * s and len1 = act_len.(r1) in
+    let row = time * s and row1 = (time + 1) * s in
+    fill_tmp ws t o1 ~base1 ~len1 ~row1 ~time1:(time + 1);
+    for idx = 0 to len - 1 do
+      let st = Array.unsafe_get act (base + idx) in
+      let acc = ref 0. in
+      let arow = st * s in
+      for idx1 = 0 to len1 - 1 do
+        let st' = Array.unsafe_get act (base1 + idx1) in
+        acc := !acc +. (Array.unsafe_get a (arow + st') *. Array.unsafe_get tmp st')
+      done;
+      Array.unsafe_set beta (row + st) !acc
+    done
+  done
+
+let check_obs name obs = if Array.length obs = 0 then invalid_arg (name ^ ": empty observation sequence")
+
+let sweep ws t obs =
+  reserve ws ~tt:(Array.length obs) ~s:t.s ~m:t.m;
+  prepare ws t;
+  let ll = forward ws t obs in
+  backward ws t obs;
+  ll
+
+let log_likelihood ~ws t obs =
+  check_obs "Em.log_likelihood" obs;
+  reserve ws ~tt:(Array.length obs) ~s:t.s ~m:t.m;
+  prepare ws t;
+  forward ws t obs
+
+let state_posteriors ~ws t obs =
+  check_obs "Em.state_posteriors" obs;
+  ignore (sweep ws t obs);
+  let s = t.s in
+  let act = ws.act and act_len = ws.act_len in
+  Array.init (Array.length obs) (fun time ->
+      let gamma = Array.make s 0. in
+      let r = act_row t obs.(time) in
+      let base = r * s and row = time * s in
+      for idx = 0 to act_len.(r) - 1 do
+        let st = Array.unsafe_get act (base + idx) in
+        gamma.(st) <- Array.unsafe_get ws.alpha (row + st) *. Array.unsafe_get ws.beta (row + st)
+      done;
+      gamma)
+
+let virtual_delay_pmf ~ws t obs =
+  check_obs "Em.virtual_delay_pmf" obs;
+  if not (Array.exists (fun o -> o = None) obs) then
+    invalid_arg "Em.virtual_delay_pmf: no loss in the sequence";
+  ignore (sweep ws t obs);
+  let s = t.s and m = t.m in
+  let alpha = ws.alpha and beta = ws.beta and w = ws.w in
+  let act = ws.act and act_len = ws.act_len in
+  let acc = Array.make m 0. in
+  let base = m * s and len = act_len.(m) in
+  Array.iteri
+    (fun time o ->
+      if o = None then begin
+        let row = time * s in
+        for idx = 0 to len - 1 do
+          let st = Array.unsafe_get act (base + idx) in
+          let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+          let wbase = st * m in
+          for j = 0 to m - 1 do
+            acc.(j) <- acc.(j) +. (g *. Array.unsafe_get w (wbase + j))
+          done
+        done
+      end)
+    obs;
+  Stats.Histogram.normalize acc
+
+(* Floor every entry of [row] (length [n] at [off]) and normalize it to
+   sum to one. *)
+let floor_normalize row off n =
+  let sum = ref 0. in
+  for k = 0 to n - 1 do
+    let v = Array.unsafe_get row (off + k) in
+    let v = if v < prob_floor then prob_floor else v in
+    Array.unsafe_set row (off + k) v;
+    sum := !sum +. v
+  done;
+  let inv = 1. /. !sum in
+  for k = 0 to n - 1 do
+    Array.unsafe_set row (off + k) (Array.unsafe_get row (off + k) *. inv)
+  done
+
+let clamp_c p = Float.max c_floor (Float.min (1. -. c_floor) p)
+
+let em_step ~ws ~update_b (t : model) obs =
+  check_obs "Em.em_step" obs;
+  let tt = Array.length obs in
+  let s = t.s and m = t.m in
+  ignore (sweep ws t obs);
+  let alpha = ws.alpha and beta = ws.beta and tmp = ws.tmp in
+  let act = ws.act and act_len = ws.act_len in
+  let xi = ws.xi and gamma_sum = ws.gamma_sum in
+  let count_obs = ws.count_obs and count_loss = ws.count_loss in
+  Array.fill xi 0 (s * s) 0.;
+  Array.fill gamma_sum 0 s 0.;
+  Array.fill count_obs 0 (s * m) 0.;
+  Array.fill count_loss 0 (s * m) 0.;
+  (* Transition statistics over active pairs. *)
+  for time = 0 to tt - 2 do
+    let o1 = obs.(time + 1) in
+    let r = act_row t obs.(time) and r1 = act_row t o1 in
+    let base = r * s and len = act_len.(r) in
+    let base1 = r1 * s and len1 = act_len.(r1) in
+    let row = time * s and row1 = (time + 1) * s in
+    fill_tmp ws t o1 ~base1 ~len1 ~row1 ~time1:(time + 1);
+    for idx = 0 to len - 1 do
+      let st = Array.unsafe_get act (base + idx) in
+      let a_ts = Array.unsafe_get alpha (row + st) in
+      gamma_sum.(st) <-
+        gamma_sum.(st) +. (a_ts *. Array.unsafe_get beta (row + st));
+      if a_ts > 0. then begin
+        let arow = st * s in
+        for idx1 = 0 to len1 - 1 do
+          let st' = Array.unsafe_get act (base1 + idx1) in
+          Array.unsafe_set xi (arow + st')
+            (Array.unsafe_get xi (arow + st')
+            +. (a_ts *. Array.unsafe_get t.a (arow + st') *. Array.unsafe_get tmp st'))
+        done
+      end
+    done
+  done;
+  (* Emission / loss statistics. *)
+  let w = ws.w in
+  for time = 0 to tt - 1 do
+    match obs.(time) with
+    | Some j ->
+        let base = j * s and row = time * s in
+        for idx = 0 to act_len.(j) - 1 do
+          let st = Array.unsafe_get act (base + idx) in
+          let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+          count_obs.((st * m) + j) <- count_obs.((st * m) + j) +. g
+        done
+    | None ->
+        let base = m * s and row = time * s in
+        for idx = 0 to act_len.(m) - 1 do
+          let st = Array.unsafe_get act (base + idx) in
+          let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+          let cbase = st * m in
+          for j = 0 to m - 1 do
+            count_loss.(cbase + j) <-
+              count_loss.(cbase + j) +. (g *. Array.unsafe_get w (cbase + j))
+          done
+        done
+  done;
+  (* M-step.  gamma 0 sums to 1 only up to rounding; renormalize. *)
+  let pi' = Array.make s 0. in
+  let r0 = act_row t obs.(0) in
+  let base0 = r0 * s in
+  for idx = 0 to act_len.(r0) - 1 do
+    let st = Array.unsafe_get act (base0 + idx) in
+    pi'.(st) <- Float.max 0. (alpha.(st) *. beta.(st))
+  done;
+  let pi_sum = Array.fold_left ( +. ) 0. pi' in
+  let pi' = Array.map (fun p -> p /. pi_sum) pi' in
+  let a' = Array.make (s * s) 0. in
+  for st = 0 to s - 1 do
+    let off = st * s in
+    if gamma_sum.(st) <= 0. then Array.blit t.a off a' off s
+    else begin
+      let inv = 1. /. gamma_sum.(st) in
+      for k = 0 to s - 1 do
+        a'.(off + k) <- xi.(off + k) *. inv
+      done;
+      floor_normalize a' off s
+    end
+  done;
+  let b' =
+    if not update_b then t.b
+    else begin
+      let b' = Array.make (s * m) 0. in
+      for st = 0 to s - 1 do
+        let off = st * m in
+        let sum = ref 0. in
+        for j = 0 to m - 1 do
+          let v = count_obs.(off + j) +. count_loss.(off + j) in
+          b'.(off + j) <- v;
+          sum := !sum +. v
+        done;
+        if !sum <= 0. then Array.blit t.b off b' off m else floor_normalize b' off m
+      done;
+      b'
+    end
+  in
+  let c' =
+    Array.init m (fun j ->
+        let lost = ref 0. and seen = ref 0. in
+        for st = 0 to s - 1 do
+          let l = count_loss.((st * m) + j) in
+          lost := !lost +. l;
+          seen := !seen +. count_obs.((st * m) + j) +. l
+        done;
+        if !seen <= 0. then t.c.(j) else clamp_c (!lost /. !seen))
+  in
+  { t with pi = pi'; a = a'; b = b'; c = c' }
+
+let max_abs_diff u v =
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let e = abs_float (x -. v.(i)) in
+      if e > !d then d := e)
+    u;
+  !d
+
+let param_change old_t new_t =
+  let d = max_abs_diff old_t.pi new_t.pi in
+  let d = Float.max d (max_abs_diff old_t.a new_t.a) in
+  let d = if old_t.b == new_t.b then d else Float.max d (max_abs_diff old_t.b new_t.b) in
+  Float.max d (max_abs_diff old_t.c new_t.c)
+
+let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
+  let rec iterate t iter =
+    let t' = em_step ~ws ~update_b t obs in
+    let change = param_change t t' in
+    if change <= eps || iter + 1 >= max_iter then
+      ( t',
+        {
+          iterations = iter + 1;
+          log_likelihood = log_likelihood ~ws t' obs;
+          converged = change <= eps;
+        } )
+    else iterate t' (iter + 1)
+  in
+  iterate t0 0
+
+(* One workspace per domain, reused across every fit that domain runs. *)
+let domain_ws_key = Domain.DLS.new_key workspace
+let domain_ws () = Domain.DLS.get domain_ws_key
+
+let fit_restarts ?eps ?max_iter ?(domains = 1) ~restarts ~update_b ~init obs =
+  if restarts <= 0 then invalid_arg "Em.fit_restarts: restarts must be positive";
+  let attempt k =
+    try Some (fit_from ~ws:(domain_ws ()) ?eps ?max_iter ~update_b (init k) obs)
+    with Zero_likelihood _ -> None
+  in
+  let results = Stats.Par.map_range ~domains restarts attempt in
+  let best = ref None in
+  Array.iter
+    (fun cand ->
+      match (cand, !best) with
+      | None, _ -> ()
+      | Some c, None -> best := Some c
+      | Some ((_, cs) as c), Some (_, bs) ->
+          let better =
+            (cs.converged && not bs.converged)
+            || (cs.converged = bs.converged && cs.log_likelihood > bs.log_likelihood)
+          in
+          if better then best := Some c)
+    results;
+  match !best with
+  | Some r -> r
+  | None -> failwith "Em.fit_restarts: every restart hit a zero-likelihood degeneracy"

@@ -1,0 +1,107 @@
+(** Shared allocation-free EM kernel for the paper's two model families.
+
+    Both the HMM (per-state symbol emissions, {!Hmm}) and the MMHD
+    (state = (hidden, symbol) pair, {!Mmhd}) are instances of one
+    generic structure: a Markov chain over [s] states where state [st]
+    emits delay symbol [j] with probability [b.(st * m + j)] and a probe
+    whose symbol is [j] is lost — observed as a missing value — with
+    probability [c.(j)].  The HMM uses a free row-stochastic [b]
+    (re-estimated by EM); the MMHD uses a fixed 0/1 indicator [b]
+    ([b.(st * m + j) = 1] iff [st mod m = j]), which EM must not touch.
+
+    The kernel provides the scaled forward–backward recursion, the
+    loss-as-missing-value emission logic (Section V of the paper), the
+    EM step, and restart racing, over flattened row-major float arrays
+    with all [O(T * s)] buffers preallocated in a reusable
+    {!workspace}.  States with zero emission probability for an
+    observation are skipped via per-symbol active-state lists, which
+    restores the MMHD's [O(T * n * s)] sparse cost inside the generic
+    kernel. *)
+
+type model = {
+  s : int;  (** number of states *)
+  m : int;  (** number of delay symbols *)
+  pi : float array;  (** initial distribution, length [s] *)
+  a : float array;  (** transitions, [s * s] row-major: [a.(i * s + k)] *)
+  b : float array;  (** symbol emission, [s * m] row-major, row-stochastic *)
+  c : float array;  (** [c.(j)] = P(loss | symbol [j]), length [m] *)
+}
+
+type observation = int option
+(** [Some j]: delay symbol [j] observed; [None]: probe lost. *)
+
+type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+exception Zero_likelihood of int
+(** Raised (with the offending time index) when an observation has zero
+    probability under the current model, e.g. after an emission row
+    collapses.  {!fit_restarts} treats this as a degenerate restart and
+    skips it instead of aborting. *)
+
+type workspace
+(** Reusable scratch buffers ([alpha], [beta], [scale], [xi],
+    expected-count accumulators, active-state lists).  Buffers grow on
+    demand and are retained between calls, so a fit of [iters]
+    iterations performs no per-iteration [O(T * s)] allocation.  A
+    workspace must not be shared across domains. *)
+
+val workspace : unit -> workspace
+(** A fresh (empty) workspace. *)
+
+val domain_ws : unit -> workspace
+(** The calling domain's workspace, held in domain-local storage and
+    reused across calls — the idiomatic way to get an allocation-free
+    series of fits without threading a workspace explicitly. *)
+
+val log_likelihood : ws:workspace -> model -> observation array -> float
+(** Scaled-forward log-likelihood (forward pass only).
+    @raise Zero_likelihood on an impossible observation. *)
+
+val state_posteriors : ws:workspace -> model -> observation array -> float array array
+(** [gamma.(t).(st)] = P(state [st] at time [t] | observations).  The
+    result is freshly allocated; the sweep itself uses the workspace. *)
+
+val virtual_delay_pmf : ws:workspace -> model -> observation array -> float array
+(** Equation (5): the posterior delay-symbol distribution of the lost
+    probes, averaged over all loss instants.  Requires at least one
+    loss ([Invalid_argument] otherwise). *)
+
+val em_step : ws:workspace -> update_b:bool -> model -> observation array -> model
+(** One EM iteration.  When [update_b] is false the emission matrix [b]
+    is shared, not re-estimated (the MMHD case, where [b] is
+    structural).  Re-estimated parameter blocks are floored away from
+    zero (transitions and any re-estimated [b] at 1e-12 before row
+    normalization, [c] clamped to [1e-9, 1 - 1e-9]) so that a symbol's
+    emission probability cannot collapse to exactly zero during EM. *)
+
+val fit_from :
+  ws:workspace ->
+  ?eps:float ->
+  ?max_iter:int ->
+  update_b:bool ->
+  model ->
+  observation array ->
+  model * fit_stats
+(** EM from an explicit starting point until the largest absolute
+    parameter change drops below [eps] (default 1e-3) or [max_iter]
+    (default 300) iterations. *)
+
+val fit_restarts :
+  ?eps:float ->
+  ?max_iter:int ->
+  ?domains:int ->
+  restarts:int ->
+  update_b:bool ->
+  init:(int -> model) ->
+  observation array ->
+  model * fit_stats
+(** Race [restarts] EM runs started from [init 0 .. init (restarts -
+    1)] and return the winner: converged beats non-converged, then
+    higher log-likelihood, then lower restart index.  With [domains > 1]
+    the restarts run on that many concurrent multicore domains (each
+    with its own workspace); because every restart's starting point is a
+    pure function of its index, the winning model is bit-identical to
+    the serial ([domains = 1]) run.  A restart that hits
+    {!Zero_likelihood} is skipped; [Failure] is raised only if every
+    restart degenerates.  [init] must be safe to call from any domain
+    (per-index pre-split RNGs satisfy this). *)

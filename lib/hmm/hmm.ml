@@ -8,7 +8,12 @@ type t = {
 }
 
 type observation = int option
-type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+type fit_stats = Em.fit_stats = {
+  iterations : int;
+  log_likelihood : float;
+  converged : bool;
+}
 
 let clamp_prob p = Float.max 1e-6 (Float.min (1. -. 1e-6) p)
 
@@ -90,9 +95,39 @@ let validate t =
   if Array.length t.c <> t.m || not (is_prob_vector t.c) then
     invalid_arg "Hmm.validate: c is not a vector of m probabilities"
 
-(* Emission probability of observation [o] in hidden state [i]:
-     e_i(Some j) = b_i(j) * (1 - c_j)
-     e_i(None)   = sum_j b_i(j) * c_j                                  *)
+(* --- Em kernel bridge -------------------------------------------------- *)
+
+let flatten rows r c =
+  let out = Array.make (r * c) 0. in
+  for i = 0 to r - 1 do
+    Array.blit rows.(i) 0 out (i * c) c
+  done;
+  out
+
+let unflatten flat r c = Array.init r (fun i -> Array.sub flat (i * c) c)
+
+let to_em t =
+  {
+    Em.s = t.n;
+    m = t.m;
+    pi = Array.copy t.pi;
+    a = flatten t.a t.n t.n;
+    b = flatten t.b t.n t.m;
+    c = Array.copy t.c;
+  }
+
+let of_em ~n ~m (e : Em.model) =
+  {
+    n;
+    m;
+    pi = Array.copy e.Em.pi;
+    a = unflatten e.Em.a n n;
+    b = unflatten e.Em.b n m;
+    c = Array.copy e.Em.c;
+  }
+
+let ws = Em.domain_ws
+
 let emission t i = function
   | Some j -> t.b.(i).(j) *. (1. -. t.c.(j))
   | None ->
@@ -101,60 +136,6 @@ let emission t i = function
         acc := !acc +. (t.b.(i).(j) *. t.c.(j))
       done;
       !acc
-
-(* Scaled forward-backward (Rabiner's \hat{alpha}/\hat{beta}); returns
-   (alpha, beta, scales).  gamma_t(i) = alpha_t(i) * beta_t(i) under
-   this scaling. *)
-let forward_backward t obs =
-  let tt = Array.length obs in
-  if tt = 0 then invalid_arg "Hmm: empty observation sequence";
-  let n = t.n in
-  let alpha = Array.make_matrix tt n 0. in
-  let beta = Array.make_matrix tt n 0. in
-  let scale = Array.make tt 0. in
-  (* Forward. *)
-  let s0 = ref 0. in
-  for i = 0 to n - 1 do
-    let v = t.pi.(i) *. emission t i obs.(0) in
-    alpha.(0).(i) <- v;
-    s0 := !s0 +. v
-  done;
-  if !s0 <= 0. then failwith "Hmm: observation has zero likelihood under the model";
-  scale.(0) <- !s0;
-  for i = 0 to n - 1 do
-    alpha.(0).(i) <- alpha.(0).(i) /. !s0
-  done;
-  for time = 1 to tt - 1 do
-    let s = ref 0. in
-    for i = 0 to n - 1 do
-      let acc = ref 0. in
-      for k = 0 to n - 1 do
-        acc := !acc +. (alpha.(time - 1).(k) *. t.a.(k).(i))
-      done;
-      let v = !acc *. emission t i obs.(time) in
-      alpha.(time).(i) <- v;
-      s := !s +. v
-    done;
-    if !s <= 0. then failwith "Hmm: observation has zero likelihood under the model";
-    scale.(time) <- !s;
-    for i = 0 to n - 1 do
-      alpha.(time).(i) <- alpha.(time).(i) /. !s
-    done
-  done;
-  (* Backward. *)
-  for i = 0 to n - 1 do
-    beta.(tt - 1).(i) <- 1.
-  done;
-  for time = tt - 2 downto 0 do
-    for i = 0 to n - 1 do
-      let acc = ref 0. in
-      for k = 0 to n - 1 do
-        acc := !acc +. (t.a.(i).(k) *. emission t k obs.(time + 1) *. beta.(time + 1).(k))
-      done;
-      beta.(time).(i) <- !acc /. scale.(time + 1)
-    done
-  done;
-  (alpha, beta, scale)
 
 let viterbi t obs =
   let tt = Array.length obs in
@@ -189,107 +170,16 @@ let viterbi t obs =
   done;
   (path, delta.(tt - 1).(!best))
 
-let log_likelihood t obs =
-  let _, _, scale = forward_backward t obs in
-  Array.fold_left (fun acc s -> acc +. log s) 0. scale
+let log_likelihood t obs = Em.log_likelihood ~ws:(ws ()) (to_em t) obs
+let state_posteriors t obs = Em.state_posteriors ~ws:(ws ()) (to_em t) obs
 
-let state_posteriors t obs =
-  let alpha, beta, _ = forward_backward t obs in
-  Array.mapi (fun time a_row -> Array.mapi (fun i a_i -> a_i *. beta.(time).(i)) a_row) alpha
-
-(* Posterior of the missing symbol given hidden state i and a loss:
-   w(i,j) = b_i(j) c_j / e_i(None).  Time-independent. *)
-let loss_symbol_weights t =
-  Array.init t.n (fun i ->
-      let e_loss = emission t i None in
-      Array.init t.m (fun j ->
-          if e_loss <= 0. then 0. else t.b.(i).(j) *. t.c.(j) /. e_loss))
-
-(* One EM iteration; returns the re-estimated model. *)
-let em_step t obs =
-  let tt = Array.length obs in
-  let n = t.n and m = t.m in
-  let alpha, beta, scale = forward_backward t obs in
-  let gamma time i = alpha.(time).(i) *. beta.(time).(i) in
-  let w = loss_symbol_weights t in
-  (* Transition statistics. *)
-  let xi_sum = Stats.Matrix.make n n 0. in
-  let gamma_sum = Array.make n 0. in
-  for time = 0 to tt - 2 do
-    for i = 0 to n - 1 do
-      gamma_sum.(i) <- gamma_sum.(i) +. gamma time i;
-      for k = 0 to n - 1 do
-        xi_sum.(i).(k) <-
-          xi_sum.(i).(k)
-          +. alpha.(time).(i) *. t.a.(i).(k)
-             *. emission t k obs.(time + 1)
-             *. beta.(time + 1).(k)
-             /. scale.(time + 1)
-      done
-    done
-  done;
-  (* Emission / loss statistics. *)
-  let count_obs = Stats.Matrix.make n m 0. in
-  let count_loss = Stats.Matrix.make n m 0. in
-  for time = 0 to tt - 1 do
-    match obs.(time) with
-    | Some j ->
-        for i = 0 to n - 1 do
-          count_obs.(i).(j) <- count_obs.(i).(j) +. gamma time i
-        done
-    | None ->
-        for i = 0 to n - 1 do
-          let g = gamma time i in
-          for j = 0 to m - 1 do
-            count_loss.(i).(j) <- count_loss.(i).(j) +. (g *. w.(i).(j))
-          done
-        done
-  done;
-  (* Renormalize: gamma 0 sums to 1 only up to rounding. *)
-  let pi' = Array.init n (fun i -> Float.max 0. (gamma 0 i)) in
-  let pi_sum = Array.fold_left ( +. ) 0. pi' in
-  let pi' = Array.map (fun p -> p /. pi_sum) pi' in
-  let a' =
-    Array.init n (fun i ->
-        Array.init n (fun k ->
-            if gamma_sum.(i) <= 0. then t.a.(i).(k) else xi_sum.(i).(k) /. gamma_sum.(i)))
+let fit_from ?eps ?max_iter t0 obs =
+  let fitted, stats =
+    Em.fit_from ~ws:(ws ()) ?eps ?max_iter ~update_b:true (to_em t0) obs
   in
-  Stats.Matrix.row_normalize a';
-  let b' =
-    Array.init n (fun i ->
-        let row = Array.init m (fun j -> count_obs.(i).(j) +. count_loss.(i).(j)) in
-        let s = Array.fold_left ( +. ) 0. row in
-        if s <= 0. then Array.copy t.b.(i) else Array.map (fun x -> x /. s) row)
-  in
-  let c' =
-    Array.init m (fun j ->
-        let lost = ref 0. and seen = ref 0. in
-        for i = 0 to n - 1 do
-          lost := !lost +. count_loss.(i).(j);
-          seen := !seen +. count_obs.(i).(j) +. count_loss.(i).(j)
-        done;
-        if !seen <= 0. then t.c.(j) else !lost /. !seen)
-  in
-  { t with pi = pi'; a = a'; b = b'; c = c' }
+  (of_em ~n:t0.n ~m:t0.m fitted, stats)
 
-let param_change old_t new_t =
-  let d1 = Stats.Matrix.max_abs_diff_vec old_t.pi new_t.pi in
-  let d2 = Stats.Matrix.max_abs_diff old_t.a new_t.a in
-  let d3 = Stats.Matrix.max_abs_diff old_t.b new_t.b in
-  let d4 = Stats.Matrix.max_abs_diff_vec old_t.c new_t.c in
-  Float.max (Float.max d1 d2) (Float.max d3 d4)
-
-let fit_from ?(eps = 1e-3) ?(max_iter = 300) t0 obs =
-  let rec iterate t iter =
-    let t' = em_step t obs in
-    let change = param_change t t' in
-    if change <= eps || iter + 1 >= max_iter then
-      (t', { iterations = iter + 1; log_likelihood = log_likelihood t' obs; converged = change <= eps })
-    else iterate t' (iter + 1)
-  in
-  iterate t0 0
-
-let fit ?eps ?max_iter ?(restarts = 2) ~rng ~n ~m obs =
+let fit ?eps ?max_iter ?(restarts = 2) ?(domains = 1) ~rng ~n ~m obs =
   if restarts <= 0 then invalid_arg "Hmm.fit: restarts must be positive";
   (* Every starting point is the data-driven informed initialization
      with independent jitter, and the best converged attempt wins.
@@ -299,40 +189,20 @@ let fit ?eps ?max_iter ?(restarts = 2) ~rng ~n ~m obs =
      probability is driven toward 1 at negligible cost), and those
      optima can dominate the likelihood while being statistically
      meaningless.  Informed starts are anchored by the neighbour
-     attribution, so comparing them by likelihood is safe. *)
-  let attempt () = fit_from ?eps ?max_iter (init_informed rng ~n ~m obs) obs in
-  let best = ref (attempt ()) in
-  for _ = 2 to restarts do
-    let cand = attempt () in
-    let better =
-      ((snd cand).converged && not (snd !best).converged)
-      || (snd cand).converged = (snd !best).converged
-         && (snd cand).log_likelihood > (snd !best).log_likelihood
-    in
-    if better then best := cand
-  done;
-  !best
+     attribution, so comparing them by likelihood is safe.
+     Each restart draws from its own pre-split RNG, so the winner is
+     identical whether the restarts run serially or across domains. *)
+  let rngs = Array.init restarts (fun _ -> Stats.Rng.split rng) in
+  let init k = to_em (init_informed rngs.(k) ~n ~m obs) in
+  let fitted, stats =
+    Em.fit_restarts ?eps ?max_iter ~domains ~restarts ~update_b:true ~init obs
+  in
+  (of_em ~n ~m fitted, stats)
 
 let virtual_delay_pmf t obs =
-  let alpha, beta, _ = forward_backward t obs in
-  let w = loss_symbol_weights t in
-  let acc = Array.make t.m 0. in
-  let losses = ref 0 in
-  Array.iteri
-    (fun time o ->
-      match o with
-      | Some _ -> ()
-      | None ->
-          incr losses;
-          for i = 0 to t.n - 1 do
-            let g = alpha.(time).(i) *. beta.(time).(i) in
-            for j = 0 to t.m - 1 do
-              acc.(j) <- acc.(j) +. (g *. w.(i).(j))
-            done
-          done)
-    obs;
-  if !losses = 0 then invalid_arg "Hmm.virtual_delay_pmf: no loss in the sequence";
-  Stats.Histogram.normalize acc
+  if not (Array.exists (fun o -> o = None) obs) then
+    invalid_arg "Hmm.virtual_delay_pmf: no loss in the sequence";
+  Em.virtual_delay_pmf ~ws:(ws ()) (to_em t) obs
 
 let simulate rng t ~len =
   if len <= 0 then invalid_arg "Hmm.simulate: len <= 0";

@@ -59,6 +59,7 @@ val fit :
   ?eps:float ->
   ?max_iter:int ->
   ?restarts:int ->
+  ?domains:int ->
   rng:Stats.Rng.t ->
   n:int ->
   m:int ->
@@ -69,7 +70,10 @@ val fit :
     paper's threshold) or [max_iter] (default 300).  [restarts] (default 2)
     independently-jittered {!init_informed} starting points are raced
     and the best converged fit wins; purely random starting points are
-    not used (see the implementation comment on degenerate optima). *)
+    not used (see the implementation comment on degenerate optima).
+    With [domains > 1] the restarts run on that many concurrent
+    multicore domains; each restart draws from its own pre-split RNG,
+    so the winning model is bit-identical to the serial run. *)
 
 val fit_from : ?eps:float -> ?max_iter:int -> t -> observation array -> t * fit_stats
 (** EM from an explicit starting point. *)

@@ -7,7 +7,12 @@ type t = {
 }
 
 type observation = int option
-type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+type fit_stats = Em.fit_stats = {
+  iterations : int;
+  log_likelihood : float;
+  converged : bool;
+}
 
 let states t = t.n * t.m
 
@@ -114,68 +119,59 @@ let validate t =
   if Array.length t.c <> t.m || not (is_prob_vector t.c) then
     invalid_arg "Mmhd.validate: c is not a vector of m probabilities"
 
-(* Emission probability of observation [o] in state [s] (symbol y):
-     e(s, Some j) = (1 - c_j) if y = j, else 0
-     e(s, None)   = c_y                                                *)
+(* --- Em kernel bridge -------------------------------------------------- *)
+
+(* The MMHD is the Em kernel instance whose emission matrix is the
+   fixed 0/1 indicator "state (x, y) emits symbol y" — flattened state
+   [st] emits [st mod m].  EM must not re-estimate it ([update_b =
+   false]); the kernel's active-state machinery recovers the sparse
+   O(T*n*S) sweeps from its zero pattern. *)
+let indicator_b ~s ~m =
+  let b = Array.make (s * m) 0. in
+  for st = 0 to s - 1 do
+    b.((st * m) + (st mod m)) <- 1.
+  done;
+  b
+
+let flatten rows r c =
+  let out = Array.make (r * c) 0. in
+  for i = 0 to r - 1 do
+    Array.blit rows.(i) 0 out (i * c) c
+  done;
+  out
+
+let to_em t =
+  let s = states t in
+  {
+    Em.s;
+    m = t.m;
+    pi = Array.copy t.pi;
+    a = flatten t.a s s;
+    b = indicator_b ~s ~m:t.m;
+    c = Array.copy t.c;
+  }
+
+let of_em ~n ~m (e : Em.model) =
+  let s = n * m in
+  {
+    n;
+    m;
+    pi = Array.copy e.Em.pi;
+    a = Array.init s (fun st -> Array.sub e.Em.a (st * s) s);
+    c = Array.copy e.Em.c;
+  }
+
+let ws = Em.domain_ws
+
 let emission t s = function
   | Some j -> if symbol_of t s = j then 1. -. t.c.(j) else 0.
   | None -> t.c.(symbol_of t s)
 
 (* States compatible with an observation: n states for an observed
-   symbol, all n*m for a loss.  Iterating only over these makes the
-   forward-backward cost T*n*S on mostly-observed traces instead of
-   T*S^2. *)
+   symbol, all n*m for a loss. *)
 let active t = function
   | Some j -> Array.init t.n (fun x -> (x * t.m) + j)
   | None -> Array.init (states t) (fun s -> s)
-
-let forward_backward t obs =
-  let tt = Array.length obs in
-  if tt = 0 then invalid_arg "Mmhd: empty observation sequence";
-  let s_all = states t in
-  let alpha = Array.make_matrix tt s_all 0. in
-  let beta = Array.make_matrix tt s_all 0. in
-  let scale = Array.make tt 0. in
-  let act = Array.map (active t) obs in
-  (* Forward. *)
-  let s0 = ref 0. in
-  Array.iter
-    (fun s ->
-      let v = t.pi.(s) *. emission t s obs.(0) in
-      alpha.(0).(s) <- v;
-      s0 := !s0 +. v)
-    act.(0);
-  if !s0 <= 0. then failwith "Mmhd: observation has zero likelihood under the model";
-  scale.(0) <- !s0;
-  Array.iter (fun s -> alpha.(0).(s) <- alpha.(0).(s) /. !s0) act.(0);
-  for time = 1 to tt - 1 do
-    let sc = ref 0. in
-    Array.iter
-      (fun s' ->
-        let acc = ref 0. in
-        Array.iter (fun s -> acc := !acc +. (alpha.(time - 1).(s) *. t.a.(s).(s'))) act.(time - 1);
-        let v = !acc *. emission t s' obs.(time) in
-        alpha.(time).(s') <- v;
-        sc := !sc +. v)
-      act.(time);
-    if !sc <= 0. then failwith "Mmhd: observation has zero likelihood under the model";
-    scale.(time) <- !sc;
-    Array.iter (fun s -> alpha.(time).(s) <- alpha.(time).(s) /. !sc) act.(time)
-  done;
-  (* Backward. *)
-  Array.iter (fun s -> beta.(tt - 1).(s) <- 1.) act.(tt - 1);
-  for time = tt - 2 downto 0 do
-    Array.iter
-      (fun s ->
-        let acc = ref 0. in
-        Array.iter
-          (fun s' ->
-            acc := !acc +. (t.a.(s).(s') *. emission t s' obs.(time + 1) *. beta.(time + 1).(s')))
-          act.(time + 1);
-        beta.(time).(s) <- !acc /. scale.(time + 1))
-      act.(time)
-  done;
-  (alpha, beta, scale, act)
 
 let viterbi t obs =
   let tt = Array.length obs in
@@ -211,87 +207,16 @@ let viterbi t obs =
   done;
   (path, delta.(tt - 1).(!best))
 
-let log_likelihood t obs =
-  let _, _, scale, _ = forward_backward t obs in
-  Array.fold_left (fun acc s -> acc +. log s) 0. scale
+let log_likelihood t obs = Em.log_likelihood ~ws:(ws ()) (to_em t) obs
+let state_posteriors t obs = Em.state_posteriors ~ws:(ws ()) (to_em t) obs
 
-let state_posteriors t obs =
-  let alpha, beta, _, _ = forward_backward t obs in
-  Array.mapi (fun time a_row -> Array.mapi (fun s a_s -> a_s *. beta.(time).(s)) a_row) alpha
-
-let em_step t obs =
-  let tt = Array.length obs in
-  let s_all = states t in
-  let alpha, beta, scale, act = forward_backward t obs in
-  let gamma time s = alpha.(time).(s) *. beta.(time).(s) in
-  (* Transition statistics over active pairs. *)
-  let xi_sum = Stats.Matrix.make s_all s_all 0. in
-  let gamma_sum = Array.make s_all 0. in
-  for time = 0 to tt - 2 do
-    Array.iter
-      (fun s ->
-        gamma_sum.(s) <- gamma_sum.(s) +. gamma time s;
-        let a_t_s = alpha.(time).(s) in
-        if a_t_s > 0. then
-          Array.iter
-            (fun s' ->
-              xi_sum.(s).(s') <-
-                xi_sum.(s).(s')
-                +. a_t_s *. t.a.(s).(s')
-                   *. emission t s' obs.(time + 1)
-                   *. beta.(time + 1).(s')
-                   /. scale.(time + 1))
-            act.(time + 1))
-      act.(time)
-  done;
-  (* gamma 0 sums to 1 only up to floating-point rounding; renormalize
-     so the result always validates. *)
-  let pi' = Array.init s_all (fun s -> Float.max 0. (gamma 0 s)) in
-  let pi_sum = Array.fold_left ( +. ) 0. pi' in
-  let pi' = Array.map (fun p -> p /. pi_sum) pi' in
-  let a' =
-    Array.init s_all (fun s ->
-        Array.init s_all (fun s' ->
-            if gamma_sum.(s) <= 0. then t.a.(s).(s') else xi_sum.(s).(s') /. gamma_sum.(s)))
+let fit_from ?eps ?max_iter t0 obs =
+  let fitted, stats =
+    Em.fit_from ~ws:(ws ()) ?eps ?max_iter ~update_b:false (to_em t0) obs
   in
-  Stats.Matrix.row_normalize a';
-  (* Loss probabilities: expected losses with symbol y over expected
-     visits to symbol y. *)
-  let lost = Array.make t.m 0. and seen = Array.make t.m 0. in
-  for time = 0 to tt - 1 do
-    Array.iter
-      (fun s ->
-        let g = gamma time s in
-        let y = symbol_of t s in
-        seen.(y) <- seen.(y) +. g;
-        if obs.(time) = None then lost.(y) <- lost.(y) +. g)
-      act.(time)
-  done;
-  let c' = Array.init t.m (fun y -> if seen.(y) <= 0. then t.c.(y) else lost.(y) /. seen.(y)) in
-  { t with pi = pi'; a = a'; c = c' }
+  (of_em ~n:t0.n ~m:t0.m fitted, stats)
 
-let param_change old_t new_t =
-  let d1 = Stats.Matrix.max_abs_diff_vec old_t.pi new_t.pi in
-  let d2 = Stats.Matrix.max_abs_diff old_t.a new_t.a in
-  let d3 = Stats.Matrix.max_abs_diff_vec old_t.c new_t.c in
-  Float.max d1 (Float.max d2 d3)
-
-let fit_from ?(eps = 1e-3) ?(max_iter = 300) t0 obs =
-  let rec iterate t iter =
-    let t' = em_step t obs in
-    let change = param_change t t' in
-    if change <= eps || iter + 1 >= max_iter then
-      ( t',
-        {
-          iterations = iter + 1;
-          log_likelihood = log_likelihood t' obs;
-          converged = change <= eps;
-        } )
-    else iterate t' (iter + 1)
-  in
-  iterate t0 0
-
-let fit ?eps ?max_iter ?(restarts = 2) ~rng ~n ~m obs =
+let fit ?eps ?max_iter ?(restarts = 2) ?(domains = 1) ~rng ~n ~m obs =
   if restarts <= 0 then invalid_arg "Mmhd.fit: restarts must be positive";
   (* Every starting point is the data-driven informed initialization
      with independent jitter, and the best converged attempt wins.
@@ -301,37 +226,20 @@ let fit ?eps ?max_iter ?(restarts = 2) ~rng ~n ~m obs =
      probability is driven toward 1 at negligible cost), and those
      optima can dominate the likelihood while being statistically
      meaningless.  Informed starts are anchored by the neighbour
-     attribution, so comparing them by likelihood is safe. *)
-  let attempt () = fit_from ?eps ?max_iter (init_informed rng ~n ~m obs) obs in
-  let best = ref (attempt ()) in
-  for _ = 2 to restarts do
-    let cand = attempt () in
-    let better =
-      ((snd cand).converged && not (snd !best).converged)
-      || (snd cand).converged = (snd !best).converged
-         && (snd cand).log_likelihood > (snd !best).log_likelihood
-    in
-    if better then best := cand
-  done;
-  !best
+     attribution, so comparing them by likelihood is safe.
+     Each restart draws from its own pre-split RNG, so the winner is
+     identical whether the restarts run serially or across domains. *)
+  let rngs = Array.init restarts (fun _ -> Stats.Rng.split rng) in
+  let init k = to_em (init_informed rngs.(k) ~n ~m obs) in
+  let fitted, stats =
+    Em.fit_restarts ?eps ?max_iter ~domains ~restarts ~update_b:false ~init obs
+  in
+  (of_em ~n ~m fitted, stats)
 
 let virtual_delay_pmf t obs =
-  let alpha, beta, _, _ = forward_backward t obs in
-  let acc = Array.make t.m 0. in
-  let losses = ref 0 in
-  Array.iteri
-    (fun time o ->
-      match o with
-      | Some _ -> ()
-      | None ->
-          incr losses;
-          for s = 0 to states t - 1 do
-            let g = alpha.(time).(s) *. beta.(time).(s) in
-            acc.(symbol_of t s) <- acc.(symbol_of t s) +. g
-          done)
-    obs;
-  if !losses = 0 then invalid_arg "Mmhd.virtual_delay_pmf: no loss in the sequence";
-  Stats.Histogram.normalize acc
+  if not (Array.exists (fun o -> o = None) obs) then
+    invalid_arg "Mmhd.virtual_delay_pmf: no loss in the sequence";
+  Em.virtual_delay_pmf ~ws:(ws ()) (to_em t) obs
 
 let simulate rng t ~len =
   if len <= 0 then invalid_arg "Mmhd.simulate: len <= 0";

@@ -1,0 +1,209 @@
+(* Tests for the shared EM kernel: parallel-restart determinism,
+   degenerate-restart skipping, and workspace reuse across
+   differently-sized models. *)
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let mmhd_obs ~seed ~len =
+  let rng = Stats.Rng.create seed in
+  let truth = Mmhd.init_random rng ~n:2 ~m:4 ~loss_fraction:0.08 in
+  let obs, _ = Mmhd.simulate rng truth ~len in
+  obs.(0) <- Some 0;
+  obs.(1) <- None;
+  obs
+
+let hmm_obs ~seed ~len =
+  let rng = Stats.Rng.create seed in
+  let truth = Hmm.init_random rng ~n:2 ~m:4 ~loss_fraction:0.08 in
+  let obs, _ = Hmm.simulate rng truth ~len in
+  obs.(0) <- Some 0;
+  obs.(1) <- None;
+  obs
+
+(* --- parallel restarts pick the identical winner ----------------------- *)
+
+let check_same_floats name a b =
+  Alcotest.(check (array (float 0.))) name a b
+
+let check_same_matrix name a b =
+  Array.iteri (fun i row -> check_same_floats (Printf.sprintf "%s row %d" name i) row b.(i)) a
+
+let test_mmhd_parallel_determinism () =
+  let obs = mmhd_obs ~seed:11 ~len:1500 in
+  let fit domains =
+    Mmhd.fit ~max_iter:25 ~restarts:4 ~domains ~rng:(Stats.Rng.create 5) ~n:2 ~m:4 obs
+  in
+  let serial, s_stats = fit 1 in
+  let parallel, p_stats = fit 4 in
+  check_same_floats "pi" serial.Mmhd.pi parallel.Mmhd.pi;
+  check_same_matrix "a" serial.Mmhd.a parallel.Mmhd.a;
+  check_same_floats "c" serial.Mmhd.c parallel.Mmhd.c;
+  check_float "log-likelihood" s_stats.Mmhd.log_likelihood p_stats.Mmhd.log_likelihood;
+  Alcotest.(check int) "iterations" s_stats.Mmhd.iterations p_stats.Mmhd.iterations
+
+let test_hmm_parallel_determinism () =
+  let obs = hmm_obs ~seed:13 ~len:1500 in
+  let fit domains =
+    Hmm.fit ~max_iter:25 ~restarts:4 ~domains ~rng:(Stats.Rng.create 5) ~n:2 ~m:4 obs
+  in
+  let serial, s_stats = fit 1 in
+  let parallel, p_stats = fit 4 in
+  check_same_floats "pi" serial.Hmm.pi parallel.Hmm.pi;
+  check_same_matrix "a" serial.Hmm.a parallel.Hmm.a;
+  check_same_matrix "b" serial.Hmm.b parallel.Hmm.b;
+  check_same_floats "c" serial.Hmm.c parallel.Hmm.c;
+  check_float "log-likelihood" s_stats.Hmm.log_likelihood p_stats.Hmm.log_likelihood
+
+let test_more_domains_than_restarts () =
+  (* domains beyond the restart count must not change the result. *)
+  let obs = mmhd_obs ~seed:17 ~len:800 in
+  let fit domains =
+    fst (Mmhd.fit ~max_iter:10 ~restarts:2 ~domains ~rng:(Stats.Rng.create 3) ~n:2 ~m:4 obs)
+  in
+  check_same_floats "pi" (fit 1).Mmhd.pi (fit 8).Mmhd.pi
+
+(* --- degenerate restarts are skipped, not fatal ------------------------ *)
+
+(* A model whose emission rows assign zero probability to symbol 0 has
+   zero likelihood on any sequence containing symbol 0. *)
+let degenerate_model : Em.model =
+  {
+    Em.s = 2;
+    m = 2;
+    pi = [| 0.5; 0.5 |];
+    a = [| 0.5; 0.5; 0.5; 0.5 |];
+    b = [| 0.; 1.; 0.; 1. |];
+    c = [| 0.1; 0.1 |];
+  }
+
+let sane_model : Em.model =
+  {
+    Em.s = 2;
+    m = 2;
+    pi = [| 0.6; 0.4 |];
+    a = [| 0.7; 0.3; 0.2; 0.8 |];
+    b = [| 0.8; 0.2; 0.3; 0.7 |];
+    c = [| 0.1; 0.2 |];
+  }
+
+let em_obs = [| Some 0; Some 1; None; Some 0; Some 1; Some 1; Some 0; None; Some 1 |]
+
+let test_degenerate_restart_skipped () =
+  let init k = if k = 0 then degenerate_model else sane_model in
+  let model, stats =
+    Em.fit_restarts ~max_iter:20 ~restarts:2 ~update_b:true ~init em_obs
+  in
+  (* The surviving restart's fit is returned, not an exception. *)
+  Alcotest.(check bool) "finite log-likelihood" true
+    (Float.is_finite stats.Em.log_likelihood);
+  Alcotest.(check int) "state count preserved" 2 model.Em.s
+
+let test_all_degenerate_fails () =
+  Alcotest.check_raises "all restarts degenerate"
+    (Failure "Em.fit_restarts: every restart hit a zero-likelihood degeneracy")
+    (fun () ->
+      ignore
+        (Em.fit_restarts ~max_iter:20 ~restarts:3 ~update_b:true
+           ~init:(fun _ -> degenerate_model)
+           em_obs))
+
+let test_zero_likelihood_carries_time () =
+  (* The exception reports the first impossible observation's index. *)
+  let ws = Em.workspace () in
+  match Em.log_likelihood ~ws degenerate_model [| Some 1; Some 1; Some 0 |] with
+  | _ -> Alcotest.fail "expected Zero_likelihood"
+  | exception Em.Zero_likelihood t -> Alcotest.(check int) "failing time" 2 t
+
+let test_em_floors_keep_fit_alive () =
+  (* Starting EM from a model already carrying hard zeros in re-estimated
+     blocks must not abort: the M-step floors keep later iterations
+     strictly positive wherever the data demands it. *)
+  let nearly_degenerate : Em.model =
+    (* Identity transitions: hard zeros off-diagonal, both states
+       occupied, so both rows get re-estimated and floored. *)
+    {
+      Em.s = 2;
+      m = 2;
+      pi = [| 0.5; 0.5 |];
+      a = [| 1.; 0.; 0.; 1. |];
+      b = [| 0.5; 0.5; 0.5; 0.5 |];
+      c = [| 0.1; 0.1 |];
+    }
+  in
+  let ws = Em.workspace () in
+  let fitted, stats = Em.fit_from ~ws ~max_iter:30 ~update_b:true nearly_degenerate em_obs in
+  Alcotest.(check bool) "finite" true (Float.is_finite stats.Em.log_likelihood);
+  (* Transition rows were floored away from exact zero. *)
+  Array.iter
+    (fun p -> Alcotest.(check bool) "transition > 0" true (p > 0.))
+    fitted.Em.a
+
+(* --- workspace reuse across sizes -------------------------------------- *)
+
+let test_workspace_reuse_across_sizes () =
+  (* Run a big model, then a smaller one, in the same workspace; the
+     small model's results must match a fresh workspace bit-for-bit
+     (stale buffer contents never leak through the active-set masks). *)
+  let big_obs = mmhd_obs ~seed:23 ~len:400 in
+  let small_obs = [| Some 0; None; Some 1; Some 1; Some 0; None; Some 1 |] in
+  let shared = Em.workspace () in
+  let big = Mmhd.init_informed (Stats.Rng.create 9) ~n:3 ~m:4 big_obs in
+  let big_em : Em.model =
+    let s = 12 in
+    {
+      Em.s;
+      m = 4;
+      pi = Array.copy big.Mmhd.pi;
+      a = Array.init (s * s) (fun k -> big.Mmhd.a.(k / s).(k mod s));
+      b = Array.init (s * 4) (fun k -> if k mod 4 = k / 4 mod 4 then 1. else 0.);
+      c = Array.copy big.Mmhd.c;
+    }
+  in
+  ignore (Em.em_step ~ws:shared ~update_b:false big_em big_obs);
+  let fresh = Em.workspace () in
+  let ll_shared = Em.log_likelihood ~ws:shared sane_model small_obs in
+  let ll_fresh = Em.log_likelihood ~ws:fresh sane_model small_obs in
+  check_float "log-likelihood identical" ll_fresh ll_shared;
+  let step_shared = Em.em_step ~ws:shared ~update_b:true sane_model small_obs in
+  let step_fresh = Em.em_step ~ws:fresh ~update_b:true sane_model small_obs in
+  check_same_floats "pi" step_fresh.Em.pi step_shared.Em.pi;
+  check_same_floats "a" step_fresh.Em.a step_shared.Em.a;
+  check_same_floats "b" step_fresh.Em.b step_shared.Em.b;
+  check_same_floats "c" step_fresh.Em.c step_shared.Em.c
+
+let test_restarts_validation () =
+  Alcotest.check_raises "restarts must be positive"
+    (Invalid_argument "Em.fit_restarts: restarts must be positive")
+    (fun () ->
+      ignore
+        (Em.fit_restarts ~restarts:0 ~update_b:true ~init:(fun _ -> sane_model) em_obs))
+
+let () =
+  Alcotest.run "em"
+    [
+      ( "parallel determinism",
+        [
+          Alcotest.test_case "mmhd serial = 4 domains" `Quick
+            test_mmhd_parallel_determinism;
+          Alcotest.test_case "hmm serial = 4 domains" `Quick
+            test_hmm_parallel_determinism;
+          Alcotest.test_case "more domains than restarts" `Quick
+            test_more_domains_than_restarts;
+        ] );
+      ( "degeneracy",
+        [
+          Alcotest.test_case "degenerate restart skipped" `Quick
+            test_degenerate_restart_skipped;
+          Alcotest.test_case "all degenerate fails" `Quick test_all_degenerate_fails;
+          Alcotest.test_case "zero likelihood carries time" `Quick
+            test_zero_likelihood_carries_time;
+          Alcotest.test_case "floors keep fit alive" `Quick
+            test_em_floors_keep_fit_alive;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "reuse across sizes" `Quick
+            test_workspace_reuse_across_sizes;
+          Alcotest.test_case "restart validation" `Quick test_restarts_validation;
+        ] );
+    ]

@@ -262,6 +262,77 @@ let test_online_invalid () =
   Alcotest.check_raises "window" (Invalid_argument "Online.scan: window must be in (0, duration]")
     (fun () -> ignore (Dcl.Online.scan ~rng ~window:1e9 ~stride:60. trace))
 
+(* Regression: window positions must be walked in integer record
+   indices.  With interval = stride = 0.1, accumulating [t +. stride]
+   in floats and recovering the index as [int_of_float (t /. interval)]
+   drifts across record boundaries: some windows are evaluated twice
+   and others skipped entirely. *)
+let test_online_scan_no_float_drift () =
+  let n = 60 and interval = 0.1 in
+  (* A flat lossless trace: every window is unidentifiable, so the scan
+     exercises only the positioning logic. *)
+  let records =
+    Array.init n (fun i -> mk_record (interval *. float_of_int i) (Probe.Trace.Delay 0.05))
+  in
+  let trace = Probe.Trace.create ~records ~interval ~base_delay:0.05 ~hop_count:1 in
+  let window = 1.0 and stride = 0.1 in
+  let per_window = 10 and stride_rec = 1 in
+  (* First, demonstrate the bug in the replaced float walk: replicate it
+     and collect the window positions it would visit. *)
+  let old_positions =
+    let rec walk t acc =
+      let pos = int_of_float (t /. interval) in
+      if pos + per_window > n then List.rev acc else walk (t +. stride) (pos :: acc)
+    in
+    walk 0. []
+  in
+  let distinct = List.sort_uniq compare old_positions in
+  Alcotest.(check bool) "old float walk visits duplicate positions" true
+    (List.length distinct < List.length old_positions);
+  Alcotest.(check bool) "old float walk skips positions" true
+    (List.length distinct < ((n - per_window) / stride_rec) + 1);
+  (* The fixed scan emits exactly one sample per integer window start. *)
+  let expected = ((n - per_window) / stride_rec) + 1 in
+  let samples = Dcl.Online.scan ~rng:(Stats.Rng.create 1) ~window ~stride trace in
+  Alcotest.(check int) "exact window count" expected (List.length samples);
+  let ats = List.map (fun s -> s.Dcl.Online.at) samples in
+  Alcotest.(check int) "all window positions distinct" expected
+    (List.length (List.sort_uniq compare ats));
+  (* Consecutive windows are exactly one stride apart. *)
+  let rec strided = function
+    | a :: (b :: _ as rest) ->
+        abs_float (b -. a -. stride) < 1e-9 && strided rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "evenly strided" true (strided ats)
+
+let test_online_scan_domains_deterministic () =
+  let rng = Stats.Rng.create 21 in
+  let n = 600 in
+  let records =
+    Array.init n (fun i ->
+        let t = 0.02 *. float_of_int i in
+        let u = Stats.Rng.float rng in
+        if u < 0.02 then mk_record t Probe.Trace.Lost
+        else mk_record t (Probe.Trace.Delay (0.05 +. (0.1 *. u))))
+  in
+  let trace = Probe.Trace.create ~records ~interval:0.02 ~base_delay:0.05 ~hop_count:1 in
+  let scan domains =
+    Dcl.Online.scan ~domains ~rng:(Stats.Rng.create 4) ~window:4. ~stride:2. trace
+  in
+  let serial = scan 1 and parallel = scan 3 in
+  Alcotest.(check int) "same sample count" (List.length serial) (List.length parallel);
+  List.iter2
+    (fun (a : Dcl.Online.sample) (b : Dcl.Online.sample) ->
+      Alcotest.(check (float 0.)) "at" a.Dcl.Online.at b.Dcl.Online.at;
+      Alcotest.(check bool) "conclusion" true
+        (a.Dcl.Online.conclusion = b.Dcl.Online.conclusion);
+      Alcotest.(check bool) "statistic bit-identical" true
+        (Int64.equal
+           (Int64.bits_of_float a.Dcl.Online.f_at_two_d_star)
+           (Int64.bits_of_float b.Dcl.Online.f_at_two_d_star)))
+    serial parallel
+
 (* --- Queue monitor --------------------------------------------------------- *)
 
 let test_qmonitor_tracks_backlog () =
@@ -465,6 +536,9 @@ let () =
           Alcotest.test_case "scan shapes" `Slow test_online_scan_shapes;
           Alcotest.test_case "changes collapse" `Quick test_online_changes_collapse;
           Alcotest.test_case "invalid" `Quick test_online_invalid;
+          Alcotest.test_case "no float drift" `Quick test_online_scan_no_float_drift;
+          Alcotest.test_case "domains deterministic" `Quick
+            test_online_scan_domains_deterministic;
         ] );
       ( "qmonitor",
         [
