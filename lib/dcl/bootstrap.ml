@@ -30,7 +30,7 @@ let default_params =
   { Identify.default_params with Identify.model = Identify.Model_markov }
 
 let f_statistic ?(params = default_params) ?(replicates = 50) ?(block = 20.)
-    ?(confidence = 0.9) ~rng trace =
+    ?(confidence = 0.9) ?(domains = 1) ~rng trace =
   if replicates <= 0 then invalid_arg "Bootstrap.f_statistic: replicates <= 0";
   if confidence <= 0. || confidence >= 1. then
     invalid_arg "Bootstrap.f_statistic: confidence must be in (0, 1)";
@@ -39,17 +39,31 @@ let f_statistic ?(params = default_params) ?(replicates = 50) ?(block = 20.)
   let per_block =
     Stdlib.max 1 (int_of_float (block /. trace.Probe.Trace.interval))
   in
-  let stats = ref [] in
-  let accepts = ref 0 in
-  for _ = 1 to replicates do
+  (* One pre-split RNG per replicate: each replicate (resampling plus
+     refit) is a pure function of its index, so the interval is
+     bit-identical however the replicates are spread over domains. *)
+  let rngs = Array.init replicates (fun _ -> Stats.Rng.split rng) in
+  let replicate k =
+    let rng = rngs.(k) in
     let sample = resample rng trace ~per_block in
     if Identify.identifiable sample then begin
       let r = Identify.run ~params ~rng sample in
-      stats := r.Identify.wdcl.Tests.f_at_two_d_star :: !stats;
-      if r.Identify.wdcl.Tests.verdict = Tests.Accept then incr accepts
+      Some
+        ( r.Identify.wdcl.Tests.f_at_two_d_star,
+          r.Identify.wdcl.Tests.verdict = Tests.Accept )
     end
-  done;
-  let xs = Array.of_list !stats in
+    else None
+  in
+  let results = Stats.Par.map_range ~domains replicates replicate in
+  let xs =
+    Array.of_list
+      (List.filter_map (Option.map fst) (Array.to_list results))
+  in
+  let accepts =
+    Array.fold_left
+      (fun n -> function Some (_, true) -> n + 1 | _ -> n)
+      0 results
+  in
   let lo, hi =
     if Array.length xs = 0 then (Float.nan, Float.nan)
     else
@@ -60,6 +74,6 @@ let f_statistic ?(params = default_params) ?(replicates = 50) ?(block = 20.)
     point;
     lo;
     hi;
-    accept_fraction = float_of_int !accepts /. float_of_int replicates;
+    accept_fraction = float_of_int accepts /. float_of_int replicates;
     replicates;
   }

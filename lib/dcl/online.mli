@@ -36,8 +36,9 @@ val scan :
     [(length - per_window) / stride_records + 1] samples with no
     float-accumulation drift.  Each window's identification draws from
     its own RNG pre-split from [rng], so with [domains > 1] the windows
-    are evaluated on that many concurrent multicore domains and the
-    samples are identical to the serial run. *)
+    are evaluated on that many concurrent domains of the persistent
+    pool ({!Stats.Pool}) and the samples are identical to the serial
+    run. *)
 
 val changes : sample list -> (float * Identify.conclusion option) list
 (** Collapse a scan to its change points: the first sample and every

@@ -26,10 +26,21 @@ type workspace = {
   mutable beta : float array;
   mutable scale : float array; (* T *)
   mutable tmp : float array; (* S *)
-  (* Per-iteration emission tables. *)
-  mutable e_obs : float array; (* M*S, symbol-major: e_obs.(j*s + st) *)
-  mutable e_loss : float array; (* S *)
+  (* Observation classes: cls.(t) = j for [Some j], m for [None].  A
+     class is both the row of the emission table and the row of the
+     active-state table, so the sweeps never touch the boxed
+     [int option] observations. *)
+  mutable cls : int array; (* T *)
+  (* Per-iteration emission table, class-major: row j < m holds
+     e(st, Some j) at e_all.(j*s + st), row m holds the loss emission
+     e(st, None) at e_all.(m*s + st). *)
+  mutable e_all : float array; (* (M+1)*S *)
   mutable w : float array; (* S*M, state-major loss-symbol weights *)
+  (* Transposed transitions, a_t.(st'*s + st) = a.(st*s + st'), so the
+     forward recursion's inner sum over predecessor states walks a
+     contiguous row (the backward pass and the M-step already walk
+     contiguous rows of [a] itself). *)
+  mutable a_t : float array; (* S*S *)
   (* Active-state lists: row j < m lists states that can emit symbol j,
      row m lists states with positive loss emission. *)
   mutable act : int array; (* (M+1)*S *)
@@ -50,9 +61,10 @@ let workspace () =
     beta = [||];
     scale = [||];
     tmp = [||];
-    e_obs = [||];
-    e_loss = [||];
+    cls = [||];
+    e_all = [||];
     w = [||];
+    a_t = [||];
     act = [||];
     act_len = [||];
     xi = [||];
@@ -71,9 +83,9 @@ let reserve ws ~tt ~s ~m =
   if s > ws.cap_s || m > ws.cap_m then begin
     let cs = max s ws.cap_s and cm = max m ws.cap_m in
     ws.tmp <- Array.make cs 0.;
-    ws.e_obs <- Array.make (cm * cs) 0.;
-    ws.e_loss <- Array.make cs 0.;
+    ws.e_all <- Array.make ((cm + 1) * cs) 0.;
     ws.w <- Array.make (cs * cm) 0.;
+    ws.a_t <- Array.make (cs * cs) 0.;
     ws.act <- Array.make ((cm + 1) * cs) 0;
     ws.act_len <- Array.make (cm + 1) 0;
     ws.xi <- Array.make (cs * cs) 0.;
@@ -90,19 +102,32 @@ let reserve ws ~tt ~s ~m =
     ws.alpha <- Array.make (ct * ws.cap_s) 0.;
     ws.beta <- Array.make (ct * ws.cap_s) 0.;
     ws.scale <- Array.make ct 0.;
+    ws.cls <- Array.make ct 0;
     ws.cap_t <- ct
   end
 
-(* Fill the emission tables and active-state lists for [t].  The
-   missing-value emission (paper Section V) lives here, shared by both
-   model families:
+(* Collapse the boxed observations into integer classes once per sweep;
+   every pass then reads the flat [cls] array instead of matching an
+   [int option] (a pointer dereference plus a branch) at each of its
+   per-time-step accesses. *)
+let classify ws (t : model) obs =
+  let m = t.m and cls = ws.cls in
+  for time = 0 to Array.length obs - 1 do
+    Array.unsafe_set cls time
+      (match Array.unsafe_get obs time with Some j -> j | None -> m)
+  done
+
+(* Fill the emission table, active-state lists and transposed
+   transitions for [t] — once per class per iteration, however many
+   times each class occurs in the sequence.  The missing-value emission
+   (paper Section V) lives here, shared by both model families:
      e(st, Some j) = b_st(j) * (1 - c_j)
      e(st, None)   = sum_j b_st(j) * c_j
      w(st, j)      = b_st(j) * c_j / e(st, None)   (loss-symbol posterior) *)
 let prepare ws (t : model) =
   let s = t.s and m = t.m in
   let b = t.b and c = t.c in
-  let e_obs = ws.e_obs and e_loss = ws.e_loss and w = ws.w in
+  let e_all = ws.e_all and w = ws.w in
   let act = ws.act and act_len = ws.act_len in
   for j = 0 to m - 1 do
     let one_minus_c = 1. -. Array.unsafe_get c j in
@@ -110,7 +135,7 @@ let prepare ws (t : model) =
     let len = ref 0 in
     for st = 0 to s - 1 do
       let e = Array.unsafe_get b ((st * m) + j) *. one_minus_c in
-      Array.unsafe_set e_obs (row + st) e;
+      Array.unsafe_set e_all (row + st) e;
       if e > 0. then begin
         Array.unsafe_set act (row + !len) st;
         incr len
@@ -127,7 +152,7 @@ let prepare ws (t : model) =
       acc := !acc +. (Array.unsafe_get b (base + j) *. Array.unsafe_get c j)
     done;
     let e = !acc in
-    Array.unsafe_set e_loss st e;
+    Array.unsafe_set e_all (loss_row + st) e;
     if e > 0. then begin
       Array.unsafe_set act (loss_row + !loss_len) st;
       incr loss_len;
@@ -142,54 +167,58 @@ let prepare ws (t : model) =
         Array.unsafe_set w (base + j) 0.
       done
   done;
-  act_len.(m) <- !loss_len
+  act_len.(m) <- !loss_len;
+  let a = t.a and a_t = ws.a_t in
+  for st = 0 to s - 1 do
+    let row = st * s in
+    for st' = 0 to s - 1 do
+      Array.unsafe_set a_t ((st' * s) + st) (Array.unsafe_get a (row + st'))
+    done
+  done
 
-(* Row of the active-set table for an observation. *)
-let act_row (t : model) = function Some j -> j | None -> t.m
-
-let emission_at ws (t : model) st = function
-  | Some j -> Array.unsafe_get ws.e_obs ((j * t.s) + st)
-  | None -> Array.unsafe_get ws.e_loss st
-
-(* One forward step over the active sets, reading the emission for
-   state [st'] at [eb.(eoff + st')]; writes unnormalized alpha values
-   and the scale into the workspace directly so no float crosses a
-   function boundary (a non-inlined float return is boxed, and these
-   run once per active state per time step). *)
-let fwd_step a act alpha eb ~eoff ~base ~len ~basep ~lenp ~row ~rowp ~s scale
+(* One forward step over the active sets.  A class [r] addresses both
+   its emission row and its active-state row at offset [r * s], so one
+   [base] serves both tables and there is no per-kind dispatch.  Writes
+   unnormalized alpha values and the scale into the workspace directly
+   so no float crosses a function boundary (a non-inlined float return
+   is boxed, and these run once per active state per time step).  The
+   inner sum reads the transposed transitions: for a fixed successor
+   [st'] the predecessors walk the contiguous row [a_t.(st'*s + ..)]. *)
+let fwd_step a_t act alpha e_all ~base ~len ~basep ~lenp ~row ~rowp ~s scale
     ~time =
   let sc = ref 0. in
   for idx = 0 to len - 1 do
     let st' = Array.unsafe_get act (base + idx) in
+    let trow = st' * s in
     let acc = ref 0. in
     for idxp = 0 to lenp - 1 do
       let st = Array.unsafe_get act (basep + idxp) in
       acc :=
         !acc
-        +. Array.unsafe_get alpha (rowp + st) *. Array.unsafe_get a ((st * s) + st')
+        +. Array.unsafe_get alpha (rowp + st) *. Array.unsafe_get a_t (trow + st)
     done;
-    let v = !acc *. Array.unsafe_get eb (eoff + st') in
+    let v = !acc *. Array.unsafe_get e_all (base + st') in
     Array.unsafe_set alpha (row + st') v;
     sc := !sc +. v
   done;
   Array.unsafe_set scale time !sc
 
-(* Scaled forward pass (Rabiner's \hat{alpha}); returns the
-   log-likelihood.  Only slots listed in the time's active set are
-   written; every later read is masked by the same active set, so the
-   untouched slots are never observed. *)
-let forward ws (t : model) obs =
-  let tt = Array.length obs in
+(* Scaled forward pass (Rabiner's \hat{alpha}) over [tt] classified
+   steps; returns the log-likelihood.  Only slots listed in the time's
+   active set are written; every later read is masked by the same
+   active set, so the untouched slots are never observed. *)
+let forward ws (t : model) tt =
   let s = t.s in
-  let alpha = ws.alpha and scale = ws.scale and a = t.a in
+  let alpha = ws.alpha and scale = ws.scale and a_t = ws.a_t in
+  let e_all = ws.e_all and cls = ws.cls in
   let act = ws.act and act_len = ws.act_len in
   let ll = ref 0. in
-  let r0 = act_row t obs.(0) in
+  let r0 = Array.unsafe_get cls 0 in
   let base0 = r0 * s and len0 = act_len.(r0) in
   let s0 = ref 0. in
   for idx = 0 to len0 - 1 do
     let st = Array.unsafe_get act (base0 + idx) in
-    let v = Array.unsafe_get t.pi st *. emission_at ws t st obs.(0) in
+    let v = Array.unsafe_get t.pi st *. Array.unsafe_get e_all (base0 + st) in
     Array.unsafe_set alpha st v;
     s0 := !s0 +. v
   done;
@@ -202,18 +231,12 @@ let forward ws (t : model) obs =
     Array.unsafe_set alpha st (Array.unsafe_get alpha st *. inv0)
   done;
   for time = 1 to tt - 1 do
-    let o = obs.(time) in
-    let r = act_row t o and rp = act_row t obs.(time - 1) in
+    let r = Array.unsafe_get cls time and rp = Array.unsafe_get cls (time - 1) in
     let base = r * s and len = act_len.(r) in
     let basep = rp * s and lenp = act_len.(rp) in
     let row = time * s and rowp = (time - 1) * s in
-    (match o with
-    | Some j ->
-        fwd_step a act alpha ws.e_obs ~eoff:(j * s) ~base ~len ~basep ~lenp ~row
-          ~rowp ~s scale ~time
-    | None ->
-        fwd_step a act alpha ws.e_loss ~eoff:0 ~base ~len ~basep ~lenp ~row ~rowp
-          ~s scale ~time);
+    fwd_step a_t act alpha e_all ~base ~len ~basep ~lenp ~row ~rowp ~s scale
+      ~time;
     let sc = Array.unsafe_get scale time in
     if sc <= 0. then raise (Zero_likelihood time);
     ll := !ll +. log sc;
@@ -226,50 +249,42 @@ let forward ws (t : model) obs =
   !ll
 
 (* Fill [tmp.(st')] = e(st', o1) * beta.(row1 + st') / scale.(time1)
-   for the active states of [o1]; shared by the backward pass and the
-   xi accumulation of the EM step.  Specialized per observation kind,
-   and the scale is re-read from the workspace array rather than passed
-   as a float argument, for the same boxing reason as {!fwd_step}. *)
-let fill_tmp ws (t : model) o1 ~base1 ~len1 ~row1 ~time1 =
-  let act = ws.act and beta = ws.beta and tmp = ws.tmp in
+   for the active states of the time's class; shared by the backward
+   pass and the xi accumulation of the EM step.  [base1] addresses both
+   the class's active row and its emission row, so the observed and
+   loss cases are one code path; the scale is re-read from the
+   workspace array rather than passed as a float argument, for the same
+   boxing reason as {!fwd_step}. *)
+let fill_tmp ws ~base1 ~len1 ~row1 ~time1 =
+  let act = ws.act and beta = ws.beta and tmp = ws.tmp and e_all = ws.e_all in
   let inv = 1. /. Array.unsafe_get ws.scale time1 in
-  match o1 with
-  | Some j ->
-      let eb = ws.e_obs and eoff = j * t.s in
-      for idx1 = 0 to len1 - 1 do
-        let st' = Array.unsafe_get act (base1 + idx1) in
-        Array.unsafe_set tmp st'
-          (Array.unsafe_get eb (eoff + st')
-          *. Array.unsafe_get beta (row1 + st')
-          *. inv)
-      done
-  | None ->
-      let eb = ws.e_loss in
-      for idx1 = 0 to len1 - 1 do
-        let st' = Array.unsafe_get act (base1 + idx1) in
-        Array.unsafe_set tmp st'
-          (Array.unsafe_get eb st' *. Array.unsafe_get beta (row1 + st') *. inv)
-      done
+  for idx1 = 0 to len1 - 1 do
+    let st' = Array.unsafe_get act (base1 + idx1) in
+    Array.unsafe_set tmp st'
+      (Array.unsafe_get e_all (base1 + st')
+      *. Array.unsafe_get beta (row1 + st')
+      *. inv)
+  done
 
-(* Scaled backward pass; requires a completed forward pass (scales). *)
-let backward ws (t : model) obs =
-  let tt = Array.length obs in
+(* Scaled backward pass; requires a completed forward pass (scales).
+   The inner sum over successors walks a contiguous row of [a]
+   directly. *)
+let backward ws (t : model) tt =
   let s = t.s in
   let beta = ws.beta and tmp = ws.tmp and a = t.a in
-  let act = ws.act and act_len = ws.act_len in
-  let rl = act_row t obs.(tt - 1) in
+  let act = ws.act and act_len = ws.act_len and cls = ws.cls in
+  let rl = Array.unsafe_get cls (tt - 1) in
   let basel = rl * s and lenl = act_len.(rl) in
   let rowl = (tt - 1) * s in
   for idx = 0 to lenl - 1 do
     Array.unsafe_set beta (rowl + Array.unsafe_get act (basel + idx)) 1.
   done;
   for time = tt - 2 downto 0 do
-    let o1 = obs.(time + 1) in
-    let r = act_row t obs.(time) and r1 = act_row t o1 in
+    let r = Array.unsafe_get cls time and r1 = Array.unsafe_get cls (time + 1) in
     let base = r * s and len = act_len.(r) in
     let base1 = r1 * s and len1 = act_len.(r1) in
     let row = time * s and row1 = (time + 1) * s in
-    fill_tmp ws t o1 ~base1 ~len1 ~row1 ~time1:(time + 1);
+    fill_tmp ws ~base1 ~len1 ~row1 ~time1:(time + 1);
     for idx = 0 to len - 1 do
       let st = Array.unsafe_get act (base + idx) in
       let acc = ref 0. in
@@ -285,26 +300,30 @@ let backward ws (t : model) obs =
 let check_obs name obs = if Array.length obs = 0 then invalid_arg (name ^ ": empty observation sequence")
 
 let sweep ws t obs =
-  reserve ws ~tt:(Array.length obs) ~s:t.s ~m:t.m;
+  let tt = Array.length obs in
+  reserve ws ~tt ~s:t.s ~m:t.m;
+  classify ws t obs;
   prepare ws t;
-  let ll = forward ws t obs in
-  backward ws t obs;
+  let ll = forward ws t tt in
+  backward ws t tt;
   ll
 
 let log_likelihood ~ws t obs =
   check_obs "Em.log_likelihood" obs;
-  reserve ws ~tt:(Array.length obs) ~s:t.s ~m:t.m;
+  let tt = Array.length obs in
+  reserve ws ~tt ~s:t.s ~m:t.m;
+  classify ws t obs;
   prepare ws t;
-  forward ws t obs
+  forward ws t tt
 
 let state_posteriors ~ws t obs =
   check_obs "Em.state_posteriors" obs;
   ignore (sweep ws t obs);
   let s = t.s in
-  let act = ws.act and act_len = ws.act_len in
+  let act = ws.act and act_len = ws.act_len and cls = ws.cls in
   Array.init (Array.length obs) (fun time ->
       let gamma = Array.make s 0. in
-      let r = act_row t obs.(time) in
+      let r = cls.(time) in
       let base = r * s and row = time * s in
       for idx = 0 to act_len.(r) - 1 do
         let st = Array.unsafe_get act (base + idx) in
@@ -318,24 +337,23 @@ let virtual_delay_pmf ~ws t obs =
     invalid_arg "Em.virtual_delay_pmf: no loss in the sequence";
   ignore (sweep ws t obs);
   let s = t.s and m = t.m in
-  let alpha = ws.alpha and beta = ws.beta and w = ws.w in
+  let alpha = ws.alpha and beta = ws.beta and w = ws.w and cls = ws.cls in
   let act = ws.act and act_len = ws.act_len in
   let acc = Array.make m 0. in
   let base = m * s and len = act_len.(m) in
-  Array.iteri
-    (fun time o ->
-      if o = None then begin
-        let row = time * s in
-        for idx = 0 to len - 1 do
-          let st = Array.unsafe_get act (base + idx) in
-          let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
-          let wbase = st * m in
-          for j = 0 to m - 1 do
-            acc.(j) <- acc.(j) +. (g *. Array.unsafe_get w (wbase + j))
-          done
+  for time = 0 to Array.length obs - 1 do
+    if cls.(time) = m then begin
+      let row = time * s in
+      for idx = 0 to len - 1 do
+        let st = Array.unsafe_get act (base + idx) in
+        let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+        let wbase = st * m in
+        for j = 0 to m - 1 do
+          acc.(j) <- acc.(j) +. (g *. Array.unsafe_get w (wbase + j))
         done
-      end)
-    obs;
+      done
+    end
+  done;
   Stats.Histogram.normalize acc
 
 (* Floor every entry of [row] (length [n] at [off]) and normalize it to
@@ -360,7 +378,7 @@ let em_step ~ws ~update_b (t : model) obs =
   let tt = Array.length obs in
   let s = t.s and m = t.m in
   ignore (sweep ws t obs);
-  let alpha = ws.alpha and beta = ws.beta and tmp = ws.tmp in
+  let alpha = ws.alpha and beta = ws.beta and tmp = ws.tmp and cls = ws.cls in
   let act = ws.act and act_len = ws.act_len in
   let xi = ws.xi and gamma_sum = ws.gamma_sum in
   let count_obs = ws.count_obs and count_loss = ws.count_loss in
@@ -370,12 +388,11 @@ let em_step ~ws ~update_b (t : model) obs =
   Array.fill count_loss 0 (s * m) 0.;
   (* Transition statistics over active pairs. *)
   for time = 0 to tt - 2 do
-    let o1 = obs.(time + 1) in
-    let r = act_row t obs.(time) and r1 = act_row t o1 in
+    let r = Array.unsafe_get cls time and r1 = Array.unsafe_get cls (time + 1) in
     let base = r * s and len = act_len.(r) in
     let base1 = r1 * s and len1 = act_len.(r1) in
     let row = time * s and row1 = (time + 1) * s in
-    fill_tmp ws t o1 ~base1 ~len1 ~row1 ~time1:(time + 1);
+    fill_tmp ws ~base1 ~len1 ~row1 ~time1:(time + 1);
     for idx = 0 to len - 1 do
       let st = Array.unsafe_get act (base + idx) in
       let a_ts = Array.unsafe_get alpha (row + st) in
@@ -392,32 +409,36 @@ let em_step ~ws ~update_b (t : model) obs =
       end
     done
   done;
-  (* Emission / loss statistics. *)
+  (* Emission / loss statistics, branched once per time step on the
+     precomputed class. *)
   let w = ws.w in
   for time = 0 to tt - 1 do
-    match obs.(time) with
-    | Some j ->
-        let base = j * s and row = time * s in
-        for idx = 0 to act_len.(j) - 1 do
-          let st = Array.unsafe_get act (base + idx) in
-          let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
-          count_obs.((st * m) + j) <- count_obs.((st * m) + j) +. g
+    let r = Array.unsafe_get cls time in
+    let row = time * s in
+    if r < m then begin
+      let base = r * s in
+      for idx = 0 to act_len.(r) - 1 do
+        let st = Array.unsafe_get act (base + idx) in
+        let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+        count_obs.((st * m) + r) <- count_obs.((st * m) + r) +. g
+      done
+    end
+    else begin
+      let base = m * s in
+      for idx = 0 to act_len.(m) - 1 do
+        let st = Array.unsafe_get act (base + idx) in
+        let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+        let cbase = st * m in
+        for j = 0 to m - 1 do
+          count_loss.(cbase + j) <-
+            count_loss.(cbase + j) +. (g *. Array.unsafe_get w (cbase + j))
         done
-    | None ->
-        let base = m * s and row = time * s in
-        for idx = 0 to act_len.(m) - 1 do
-          let st = Array.unsafe_get act (base + idx) in
-          let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
-          let cbase = st * m in
-          for j = 0 to m - 1 do
-            count_loss.(cbase + j) <-
-              count_loss.(cbase + j) +. (g *. Array.unsafe_get w (cbase + j))
-          done
-        done
+      done
+    end
   done;
   (* M-step.  gamma 0 sums to 1 only up to rounding; renormalize. *)
   let pi' = Array.make s 0. in
-  let r0 = act_row t obs.(0) in
+  let r0 = cls.(0) in
   let base0 = r0 * s in
   for idx = 0 to act_len.(r0) - 1 do
     let st = Array.unsafe_get act (base0 + idx) in
@@ -496,7 +517,10 @@ let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
   in
   iterate t0 0
 
-(* One workspace per domain, reused across every fit that domain runs. *)
+(* One workspace per domain, reused across every fit that domain runs.
+   Because the domains behind Stats.Pool persist for the process
+   lifetime, these workspaces stay warm across pool jobs: back-to-back
+   parallel fits allocate nothing for their sweep buffers. *)
 let domain_ws_key = Domain.DLS.new_key workspace
 let domain_ws () = Domain.DLS.get domain_ws_key
 

@@ -16,7 +16,18 @@
     {!workspace}.  States with zero emission probability for an
     observation are skipped via per-symbol active-state lists, which
     restores the MMHD's [O(T * n * s)] sparse cost inside the generic
-    kernel. *)
+    kernel.
+
+    Hot-path layout: observations are collapsed once per sweep into
+    integer {e observation classes} (symbol [j], or [m] for a loss)
+    indexing a single class-major emission table and the active-state
+    lists, so emission rows are computed once per class per iteration
+    and the sweeps never touch the boxed [int option] sequence; and the
+    workspace keeps a transposed copy of the transition matrix so the
+    forward recursion's inner sums walk contiguous rows, like the
+    backward pass and M-step do over the untransposed matrix.  These
+    are pure layout changes: results are bit-identical to the direct
+    formulation. *)
 
 type model = {
   s : int;  (** number of states *)

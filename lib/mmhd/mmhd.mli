@@ -73,8 +73,10 @@ val fit :
     and the best converged fit wins; purely random starting points are
     not used (see the implementation comment on degenerate optima).
     With [domains > 1] the restarts run on that many concurrent
-    multicore domains; each restart draws from its own pre-split RNG,
-    so the winning model is bit-identical to the serial run. *)
+    domains of the persistent pool ({!Stats.Pool}; domains are spawned
+    once per process and their EM workspaces stay warm across calls);
+    each restart draws from its own pre-split RNG, so the winning
+    model is bit-identical to the serial run. *)
 
 val fit_from : ?eps:float -> ?max_iter:int -> t -> observation array -> t * fit_stats
 

@@ -1,4 +1,9 @@
-let map_range ~domains n f =
+let spawn_per_call = ref false
+
+(* PR 1's fork–join implementation: spawn fresh domains for every call.
+   Kept (behind [spawn_per_call]) so the bench can measure what the
+   persistent pool amortizes away. *)
+let map_range_spawn ~domains n f =
   if n <= 0 then [||]
   else
     let domains = max 1 (min domains n) in
@@ -21,5 +26,17 @@ let map_range ~domains n f =
       worker 0;
       Array.iter Domain.join handles;
       Array.iter (function Some e -> raise e | None -> ()) errors;
+      Array.map (function Some x -> x | None -> assert false) results
+    end
+
+let map_range ~domains n f =
+  if n <= 0 then [||]
+  else if !spawn_per_call then map_range_spawn ~domains n f
+  else
+    let domains = max 1 (min domains n) in
+    if domains = 1 then Array.init n f
+    else begin
+      let results = Array.make n None in
+      Pool.run ~participants:domains n (fun i -> results.(i) <- Some (f i));
       Array.map (function Some x -> x | None -> assert false) results
     end

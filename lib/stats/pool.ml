@@ -1,0 +1,170 @@
+(* Persistent work pool over multicore domains.
+
+   Worker domains are spawned once per process (lazily, on the first
+   submission that wants them) and then reused for every subsequent
+   job, so a fan-out site pays Domain.spawn/Domain.join once instead of
+   on every call.  Keeping the domains alive also keeps their
+   domain-local state — in particular the EM workspaces held in
+   [Domain.DLS] by [Em.domain_ws] — warm across jobs.
+
+   A job is a range [0 .. n-1] of independent items.  The caller
+   submits it, workers and the caller pull index-range chunks off the
+   job under a mutex, evaluate them, and the caller returns when every
+   item has been evaluated.  Because each item writes only its own
+   result slot, the result is independent of which domain ran which
+   chunk; scheduling is dynamic but the outcome is deterministic. *)
+
+type job = {
+  run : int -> unit;
+  n : int;
+  chunk : int;
+  mutable next : int; (* first unissued index; [n] once exhausted *)
+  mutable in_flight : int; (* chunks currently being evaluated *)
+  mutable failed : (int * exn) option; (* lowest-index failure *)
+}
+
+let mutex = Mutex.create ()
+
+(* Signalled when a job with unissued chunks is installed. *)
+let work = Condition.create ()
+
+(* Signalled when the last in-flight chunk of a job completes. *)
+let idle = Condition.create ()
+
+(* At most one job at a time; [submit] serializes callers. *)
+let current : job option ref = ref None
+let submit_mutex = Mutex.create ()
+let spawned = ref 0
+let handles : unit Domain.t list ref = ref []
+let quit = ref false
+
+(* Set while the current domain is evaluating chunks, so a nested
+   submission from inside a job runs inline instead of deadlocking on
+   [submit_mutex]. *)
+let in_job_key = Domain.DLS.new_key (fun () -> ref false)
+
+let inside_job () = !(Domain.DLS.get in_job_key)
+
+let size () = max 1 (Domain.recommended_domain_count ())
+let worker_count () = !spawned
+
+(* Worker cap: machine size minus the participating caller, unless
+   overridden (tests and benches raise it to exercise the concurrent
+   path on small machines). *)
+let capacity_override = ref None
+let capacity () = match !capacity_override with Some c -> c | None -> size () - 1
+let set_capacity c = capacity_override := Some (max 0 c)
+
+(* Pull and evaluate chunks of [j] until none are left.  Called (by
+   workers and the submitting caller alike) with [mutex] held; returns
+   with [mutex] held.  Item exceptions are recorded, never raised here:
+   the job keeps the failure with the lowest item index, which is
+   deterministic because chunks are issued in increasing index order —
+   by the time item [i] is issued, every chunk containing a smaller
+   index has been issued and will run to completion. *)
+let eval_chunks j =
+  let flag = Domain.DLS.get in_job_key in
+  flag := true;
+  while j.next < j.n do
+    let lo = j.next in
+    let hi = min j.n (lo + j.chunk) in
+    j.next <- hi;
+    j.in_flight <- j.in_flight + 1;
+    Mutex.unlock mutex;
+    let err =
+      let i = ref lo in
+      try
+        while !i < hi do
+          j.run !i;
+          incr i
+        done;
+        None
+      with e -> Some (!i, e)
+    in
+    Mutex.lock mutex;
+    j.in_flight <- j.in_flight - 1;
+    (match err with
+    | None -> ()
+    | Some (i, e) ->
+        (match j.failed with
+        | Some (i0, _) when i0 <= i -> ()
+        | _ -> j.failed <- Some (i, e));
+        (* Stop issuing further chunks; in-flight ones drain. *)
+        j.next <- j.n)
+  done;
+  flag := false;
+  if j.in_flight = 0 then Condition.broadcast idle
+
+let rec worker_loop () =
+  Mutex.lock mutex;
+  let job = ref None in
+  while
+    (match !current with
+    | Some j when j.next < j.n -> job := Some j
+    | _ -> ());
+    !job = None && not !quit
+  do
+    Condition.wait work mutex
+  done;
+  match !job with
+  | None -> Mutex.unlock mutex (* quitting *)
+  | Some j ->
+      eval_chunks j;
+      Mutex.unlock mutex;
+      worker_loop ()
+
+let shutdown () =
+  Mutex.lock mutex;
+  quit := true;
+  Condition.broadcast work;
+  Mutex.unlock mutex;
+  List.iter Domain.join !handles;
+  handles := []
+
+(* Called with [submit_mutex] held (submissions are serialized, so no
+   two domains race to spawn). *)
+let ensure_workers want =
+  let want = min want (capacity ()) in
+  if !spawned = 0 && want > 0 then at_exit shutdown;
+  while !spawned < want do
+    handles := Domain.spawn worker_loop :: !handles;
+    incr spawned
+  done
+
+let run ~participants n runit =
+  if n > 0 then
+    if inside_job () then
+      (* Nested submission from inside a pool job: run inline.  The
+         outer job already owns the pool. *)
+      for i = 0 to n - 1 do
+        runit i
+      done
+    else begin
+      Mutex.lock submit_mutex;
+      let participants = max 1 (min participants n) in
+      ensure_workers (participants - 1);
+      if !spawned = 0 then begin
+        Mutex.unlock submit_mutex;
+        for i = 0 to n - 1 do
+          runit i
+        done
+      end
+      else begin
+        (* Small chunks (a quarter of an even split) let finished
+           domains steal remaining work from slow ones; for the common
+           restart-racing case (n = participants) the chunk is 1. *)
+        let chunk = max 1 (n / (participants * 4)) in
+        let j = { run = runit; n; chunk; next = 0; in_flight = 0; failed = None } in
+        Mutex.lock mutex;
+        current := Some j;
+        Condition.broadcast work;
+        eval_chunks j;
+        while j.next < j.n || j.in_flight > 0 do
+          Condition.wait idle mutex
+        done;
+        current := None;
+        Mutex.unlock mutex;
+        Mutex.unlock submit_mutex;
+        match j.failed with Some (_, e) -> raise e | None -> ()
+      end
+    end
