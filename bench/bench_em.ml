@@ -124,18 +124,101 @@ let geomean = function
       exp (List.fold_left (fun acc x -> acc +. log x) 0. xs
            /. float_of_int (List.length xs))
 
+(* --- Instrumentation overhead (--obs) --------------------------------
+
+   The EM sweep is the hottest instrumented region (one span plus the
+   end-of-fit counters per fit), so it bounds the cost of the telemetry
+   layer.  One serial fit is measured with collection disabled and then
+   enabled; the smallest of several repeats cancels scheduler noise.
+   The disabled run exercises exactly the shipped hot path (every Obs
+   call is compiled in, each reduced to one flag check), so its
+   alloc-per-observation-iteration figure is the steady-state number
+   that must stay at zero. *)
+
+let min_time_of ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let _, s = time_of f in
+    if s < !best then best := s
+  done;
+  !best
+
+let run_obs ~smoke =
+  let t = if smoke then 2_000 else 20_000 in
+  let n = 2 and m = 5 and restarts = 4 in
+  let max_iter = if smoke then 5 else 15 in
+  let repeats = if smoke then 7 else 5 in
+  let obs = synth_obs ~seed:0x0B5 ~n ~m ~t in
+  let fit () =
+    let rng = Stats.Rng.create 42 in
+    Mmhd.fit ~eps:1e-4 ~max_iter ~restarts ~domains:1 ~rng ~n ~m obs
+  in
+  Obs.set_enabled false;
+  ignore (fit ());
+  let (_, stats), alloc_disabled = alloc_of fit in
+  let disabled_s = min_time_of ~repeats fit in
+  Obs.set_enabled true;
+  ignore (fit ());
+  let _, alloc_enabled = alloc_of fit in
+  let enabled_s = min_time_of ~repeats fit in
+  Obs.set_enabled false;
+  let obs_iters = t * stats.Mmhd.iterations * restarts in
+  let disabled_per_obs_iter = alloc_disabled /. float_of_int obs_iters in
+  let overhead = (enabled_s /. disabled_s) -. 1. in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n  \"bench\": \"em_obs_overhead\",\n\
+    \  \"t\": %d, \"n\": %d, \"m\": %d, \"restarts\": %d, \"max_iter\": %d,\n\
+    \  \"iterations\": %d,\n\
+    \  \"disabled_seconds\": %.6f,\n\
+    \  \"enabled_seconds\": %.6f,\n\
+    \  \"enabled_overhead_ratio\": %.4f,\n\
+    \  \"disabled_alloc_bytes\": %.0f,\n\
+    \  \"enabled_alloc_bytes\": %.0f,\n\
+    \  \"disabled_alloc_bytes_per_obs_iter\": %.4f,\n\
+    \  \"note\": \"one serial MMHD fit timed with Obs collection off and on (min of %d repeats each); every instrumentation call is compiled in in both runs, the disabled run reduces each to a flag check. disabled_alloc_bytes_per_obs_iter is the steady-state allocation of the instrumented kernel with collection off and must stay at zero (the sub-byte slack absorbs Gc.allocated_bytes boxing its own result).\"\n}\n"
+    t n m restarts max_iter stats.Mmhd.iterations disabled_s enabled_s overhead
+    alloc_disabled alloc_enabled disabled_per_obs_iter repeats;
+  let path = if smoke then "BENCH_obs.smoke.json" else "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.eprintf "bench_em: wrote %s (enabled overhead %.2f%%)\n%!" path
+    (100. *. overhead);
+  if smoke then begin
+    if overhead >= 0.05 then begin
+      Printf.eprintf
+        "FATAL: enabled-instrumentation overhead %.2f%% exceeds the 5%% budget\n"
+        (100. *. overhead);
+      exit 1
+    end;
+    if disabled_per_obs_iter >= 1. then begin
+      Printf.eprintf
+        "FATAL: disabled path allocates %.2f bytes per observation-iteration\n"
+        disabled_per_obs_iter;
+      exit 1
+    end
+  end
+
 let () =
-  let smoke = ref false in
+  let smoke = ref false and obs_mode = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--smoke" -> smoke := true
+        | "--obs" -> obs_mode := true
         | _ ->
-            Printf.eprintf "bench_em: unknown argument %S\nusage: bench_em [--smoke]\n" arg;
+            Printf.eprintf
+              "bench_em: unknown argument %S\nusage: bench_em [--smoke] [--obs]\n" arg;
             exit 2)
     Sys.argv;
   let smoke = !smoke in
+  if !obs_mode then begin
+    run_obs ~smoke;
+    exit 0
+  end;
   let sizes = if smoke then [ 2_000 ] else [ 5_000; 20_000; 80_000 ] in
   let ns = [ 2; 4 ] in
   let cores = Domain.recommended_domain_count () in

@@ -13,19 +13,26 @@ let models =
     ("markov", Dcl.Identify.Model_markov);
   ]
 
-let run file model n m beta eps prop_delay seed fine_bound =
+let run file model n m beta eps prop_delay seed fine_bound domains metrics =
+  Obs_cli.with_metrics metrics @@ fun () ->
   let trace = Probe.Trace.load file in
   Printf.printf "trace: %d probes over %.0f s, loss rate %.3f%%\n" (Probe.Trace.length trace)
     (Probe.Trace.duration trace)
     (100. *. Probe.Trace.loss_rate trace);
   (* The method assumes stationary loss/delay characteristics
-     (Section III); warn when the trace drifts. *)
+     (Section III); warn when the trace drifts.  Only the expected
+     too-few-probes rejection is silent — any other failure of the
+     check is itself worth a warning, not a swallow. *)
   (if Probe.Trace.length trace >= 8 then
-     try
-       let report = Dcl.Stationarity.check trace in
-       if not report.Dcl.Stationarity.stationary then
-         Format.printf "warning: %a@." Dcl.Stationarity.pp_report report
-     with Invalid_argument _ -> ());
+     match Dcl.Stationarity.check trace with
+     | report ->
+         if not report.Dcl.Stationarity.stationary then
+           Format.printf "warning: %a@." Dcl.Stationarity.pp_report report
+     | exception Invalid_argument msg
+       when msg = "Stationarity.check: trace too short" ->
+         ()
+     | exception Invalid_argument msg ->
+         Format.printf "warning: stationarity check failed: %s@." msg);
   if not (Dcl.Identify.identifiable trace) then begin
     prerr_endline
       "trace is not identifiable: it needs at least one loss, one surviving probe, and \
@@ -41,6 +48,7 @@ let run file model n m beta eps prop_delay seed fine_bound =
         m;
         beta;
         eps;
+        domains;
         prop_delay =
           (match prop_delay with
           | Some p -> Dcl.Discretize.Known p
@@ -115,12 +123,20 @@ let fine_arg =
     & info [ "fine-bound" ]
         ~doc:"Also fit with M=40 symbols and report the component-heuristic Q_max bound.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Multicore domains racing the EM restarts; the winning fit is \
+           identical to the serial run.")
+
 let cmd =
   let doc = "identify whether a dominant congested link exists from a probe trace" in
   Cmd.v
     (Cmd.info "dcl-identify" ~doc)
     Term.(
       const run $ file_arg $ model_arg $ n_arg $ m_arg $ beta_arg $ eps_arg $ prop_arg
-      $ seed_arg $ fine_arg)
+      $ seed_arg $ fine_arg $ domains_arg $ Obs_cli.metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

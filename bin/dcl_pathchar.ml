@@ -14,16 +14,19 @@ let kinds =
     ("inet-adsl-snu", Scenarios.Internet.Adsl_from_snu);
   ]
 
-let run kind seed duration =
+let run kind seed duration metrics =
+  Obs_cli.with_metrics metrics @@ fun () ->
   let o = Scenarios.Internet.run ~seed ~duration ~with_pathchar:true kind in
   Printf.printf "%s (%d hops), probing %.0f s\n"
     (Scenarios.Internet.kind_to_string kind)
     (Scenarios.Internet.hop_count kind)
     duration;
-  (match o.Scenarios.Internet.pathchar with
+  match o.Scenarios.Internet.pathchar with
   | None ->
+      (* Return instead of [exit]: exiting would skip the --metrics
+         dump the surrounding [with_metrics] writes on the way out. *)
       prerr_endline "no pathchar result";
-      exit 1
+      1
   | Some r ->
       Array.iter
         (fun (h : Pathchar.hop) ->
@@ -37,14 +40,14 @@ let run kind seed duration =
             | None -> "   -   ")
             (if Some h.Pathchar.index = r.Pathchar.narrow_hop then "   <- narrow link"
              else ""))
-        r.Pathchar.hops);
-  Printf.printf
-    "(ground truth: the congested link is hop %d%s)\n"
-    (o.Scenarios.Internet.bottleneck_hop + 1)
-    (match o.Scenarios.Internet.secondary_hop with
-    | Some h -> Printf.sprintf "; a second congested link is hop %d" (h + 1)
-    | None -> "");
-  0
+        r.Pathchar.hops;
+      Printf.printf
+        "(ground truth: the congested link is hop %d%s)\n"
+        (o.Scenarios.Internet.bottleneck_hop + 1)
+        (match o.Scenarios.Internet.secondary_hop with
+        | Some h -> Printf.sprintf "; a second congested link is hop %d" (h + 1)
+        | None -> "");
+      0
 
 let kind_arg =
   let doc =
@@ -62,6 +65,7 @@ let duration_arg =
 
 let cmd =
   let doc = "per-hop capacity estimation (pathchar) over an emulated wide-area path" in
-  Cmd.v (Cmd.info "dcl-pathchar" ~doc) Term.(const run $ kind_arg $ seed_arg $ duration_arg)
+  Cmd.v (Cmd.info "dcl-pathchar" ~doc)
+    Term.(const run $ kind_arg $ seed_arg $ duration_arg $ Obs_cli.metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

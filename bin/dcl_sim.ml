@@ -41,7 +41,8 @@ let summarize_trace trace =
     (Probe.Trace.duration trace)
     (100. *. Probe.Trace.loss_rate trace)
 
-let run scenario seed duration bw3 output =
+let run scenario seed duration bw3 output metrics =
+  Obs_cli.with_metrics metrics @@ fun () ->
   let trace =
     match scenario with
     | Strongly | Weakly | No_dcl ->
@@ -118,6 +119,8 @@ let cmd =
   let doc = "simulate a dominant-congested-link scenario and record a probe trace" in
   Cmd.v
     (Cmd.info "dcl-sim" ~doc)
-    Term.(const run $ scenario_arg $ seed_arg $ duration_arg $ bw3_arg $ output_arg)
+    Term.(
+      const run $ scenario_arg $ seed_arg $ duration_arg $ bw3_arg $ output_arg
+      $ Obs_cli.metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

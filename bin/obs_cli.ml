@@ -1,0 +1,28 @@
+(* Shared --metrics plumbing for the dcl command-line tools: one
+   optional flag that turns collection on for the whole run and dumps a
+   registry snapshot on exit. *)
+
+open Cmdliner
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect runtime metrics and write a snapshot on exit: $(b,-) prints \
+           Prometheus text to stdout, a path ending in $(b,.json) writes JSON, \
+           any other path writes Prometheus text.  Collection can also be \
+           enabled without a dump by setting $(b,DCL_OBS=1) in the \
+           environment.")
+
+(* Run [f] with collection enabled when a dump was requested, and write
+   the snapshot afterwards.  The snapshot is written even when [f]
+   raises mid-pipeline — partial metrics are exactly what one wants
+   when diagnosing the failure. *)
+let with_metrics dest f =
+  match dest with
+  | None -> f ()
+  | Some d ->
+      Obs.set_enabled true;
+      Fun.protect ~finally:(fun () -> Obs.write d) f

@@ -33,6 +33,25 @@ let default_params =
 
 type conclusion = Strongly_dominant | Weakly_dominant | No_dominant
 
+(* Pipeline telemetry: one latency histogram per stage (shared family,
+   distinguished by the [stage] label) and a completed-runs counter.
+   All no-ops while Obs collection is disabled. *)
+let h_stage stage =
+  Obs.Histogram.make
+    ~labels:[ ("stage", stage) ]
+    ~help:"Per-stage latency of the identification pipeline"
+    "dcl_identify_stage_seconds"
+
+let h_discretize = h_stage "discretize"
+let h_fit = h_stage "fit"
+let h_vqd = h_stage "vqd"
+let h_tests = h_stage "tests"
+let h_bound = h_stage "bound"
+
+let m_runs =
+  Obs.Counter.make ~help:"Completed Identify.run pipelines"
+    "dcl_identify_runs_total"
+
 type result = {
   params : params;
   scheme : Discretize.t;
@@ -46,6 +65,7 @@ type result = {
   em_iterations : int;
   log_likelihood : float;
   em_converged : bool;
+  em_skipped_restarts : int;
 }
 
 let identifiable trace =
@@ -57,6 +77,7 @@ let identifiable trace =
   && Array.fold_left Float.max ds.(0) ds > Array.fold_left Float.min ds.(0) ds
 
 let model_pmf params ~rng symbols =
+  let fit0 = Obs.Span.start () in
   match params.model with
   | Model_mmhd | Model_markov ->
       let n = match params.model with Model_markov -> 1 | Model_mmhd | Model_hmm -> params.n in
@@ -64,42 +85,55 @@ let model_pmf params ~rng symbols =
         Mmhd.fit ~eps:params.em_eps ~max_iter:params.em_max_iter ~restarts:params.restarts
           ~domains:params.domains ~rng ~n ~m:params.m symbols
       in
-      ( Mmhd.virtual_delay_pmf model symbols,
-        (stats.Mmhd.iterations, stats.Mmhd.log_likelihood, stats.Mmhd.converged) )
+      Obs.Span.stop h_fit fit0;
+      let vqd0 = Obs.Span.start () in
+      let pmf = Mmhd.virtual_delay_pmf model symbols in
+      Obs.Span.stop h_vqd vqd0;
+      (pmf, stats)
   | Model_hmm ->
       let model, stats =
         Hmm.fit ~eps:params.em_eps ~max_iter:params.em_max_iter ~restarts:params.restarts
           ~domains:params.domains ~rng ~n:params.n ~m:params.m symbols
       in
-      ( Hmm.virtual_delay_pmf model symbols,
-        (stats.Hmm.iterations, stats.Hmm.log_likelihood, stats.Hmm.converged) )
+      Obs.Span.stop h_fit fit0;
+      let vqd0 = Obs.Span.start () in
+      let pmf = Hmm.virtual_delay_pmf model symbols in
+      Obs.Span.stop h_vqd vqd0;
+      (pmf, stats)
 
 let fit_vqd ?(params = default_params) ~rng trace =
   if not (identifiable trace) then
     invalid_arg "Identify: trace has no loss or no delay spread";
+  let disc0 = Obs.Span.start () in
   let scheme = Discretize.of_trace ~m:params.m ~prop_delay:params.prop_delay trace in
   let symbols = Discretize.symbolize scheme (Probe.Trace.observations trace) in
+  Obs.Span.stop h_discretize disc0;
   let pmf, stats = model_pmf params ~rng symbols in
   (Vqd.of_pmf scheme pmf, stats)
 
 let run ?(params = default_params) ~rng trace =
-  let vqd, (em_iterations, log_likelihood, em_converged) = fit_vqd ~params ~rng trace in
+  let vqd, (stats : Em.fit_stats) = fit_vqd ~params ~rng trace in
+  let tests0 = Obs.Span.start () in
   let sdcl = Tests.sdcl ~tolerance:params.sdcl_tolerance vqd in
   let wdcl =
     Tests.wdcl ~tolerance:params.wdcl_tolerance ~beta:params.beta ~eps:params.eps vqd
   in
+  Obs.Span.stop h_tests tests0;
   let conclusion =
     match (sdcl.Tests.verdict, wdcl.Tests.verdict) with
     | Tests.Accept, _ -> Strongly_dominant
     | Tests.Reject, Tests.Accept -> Weakly_dominant
     | Tests.Reject, Tests.Reject -> No_dominant
   in
+  let bound0 = Obs.Span.start () in
   let bound =
     match conclusion with
     | Strongly_dominant -> Some (Bound.sdcl_bound vqd)
     | Weakly_dominant -> Some (Bound.wdcl_bound ~beta:params.beta vqd)
     | No_dominant -> None
   in
+  Obs.Span.stop h_bound bound0;
+  Obs.Counter.incr m_runs;
   {
     params;
     scheme = vqd.Vqd.scheme;
@@ -110,9 +144,10 @@ let run ?(params = default_params) ~rng trace =
     bound;
     loss_rate = Probe.Trace.loss_rate trace;
     observations = Probe.Trace.length trace;
-    em_iterations;
-    log_likelihood;
-    em_converged;
+    em_iterations = stats.Em.iterations;
+    log_likelihood = stats.Em.log_likelihood;
+    em_converged = stats.Em.converged;
+    em_skipped_restarts = stats.Em.skipped_restarts;
   }
 
 let conclusion_to_string = function
@@ -129,7 +164,11 @@ let pp_result ppf r =
   | Some b -> Format.fprintf ppf "Q_max upper bound: %.1f ms@," (1000. *. b)
   | None -> ());
   Format.fprintf ppf
-    "loss rate: %.2f%%, probes: %d, EM: %d iterations (%s), logL=%.1f@]"
+    "loss rate: %.2f%%, probes: %d, EM: %d iterations (%s), logL=%.1f"
     (100. *. r.loss_rate) r.observations r.em_iterations
     (if r.em_converged then "converged" else "max-iter")
-    r.log_likelihood
+    r.log_likelihood;
+  if r.em_skipped_restarts > 0 then
+    Format.fprintf ppf ", %d degenerate restart%s skipped" r.em_skipped_restarts
+      (if r.em_skipped_restarts = 1 then "" else "s");
+  Format.fprintf ppf "@]"

@@ -57,14 +57,16 @@ type result = {
   em_iterations : int;
   log_likelihood : float;
   em_converged : bool;
+  em_skipped_restarts : int;
+      (** EM restarts discarded as degenerate (zero-likelihood) *)
 }
 
 val fit_vqd :
-  ?params:params -> rng:Stats.Rng.t -> Probe.Trace.t -> Vqd.t * (int * float * bool)
+  ?params:params -> rng:Stats.Rng.t -> Probe.Trace.t -> Vqd.t * Em.fit_stats
 (** Model-fitting front half only: returns the inferred virtual
-    queuing delay distribution and (EM iterations, log-likelihood,
-    converged).  Used by the figure benches that plot distributions
-    without running the tests. *)
+    queuing delay distribution and the winning fit's statistics.  Used
+    by the figure benches that plot distributions without running the
+    tests. *)
 
 val run : ?params:params -> rng:Stats.Rng.t -> Probe.Trace.t -> result
 (** Full pipeline.  Raises [Invalid_argument] when the trace has no

@@ -5,8 +5,17 @@ type sample = {
   loss_rate : float;
 }
 
-let scan ?(params = Identify.default_params) ?(domains = 1) ~rng ~window ~stride
-    trace =
+let h_window =
+  Obs.Histogram.make ~help:"Latency of one sliding-window identification"
+    "dcl_online_window_seconds"
+
+let m_transitions =
+  Obs.Counter.make
+    ~help:"Conclusion changes between consecutive sliding windows"
+    "dcl_online_conclusion_transitions_total"
+
+let scan ?(params = Identify.default_params) ?(domains = 1) ?on_change ~rng
+    ~window ~stride trace =
   if stride <= 0. then invalid_arg "Online.scan: stride <= 0";
   let duration = Probe.Trace.duration trace in
   if window <= 0. || window > duration then
@@ -28,27 +37,49 @@ let scan ?(params = Identify.default_params) ?(domains = 1) ~rng ~window ~stride
      the windows are evaluated serially or across domains. *)
   let rngs = Array.init count (fun _ -> Stats.Rng.split rng) in
   let eval w =
+    let t0 = Obs.Span.start () in
     let pos = w * stride_rec in
     let segment = Probe.Trace.sub trace ~pos ~len:per_window in
     let last = segment.Probe.Trace.records.(per_window - 1).Probe.Trace.send_time in
-    if Identify.identifiable segment then begin
-      let r = Identify.run ~params ~rng:rngs.(w) segment in
-      {
-        at = last;
-        conclusion = Some r.Identify.conclusion;
-        f_at_two_d_star = r.Identify.wdcl.Tests.f_at_two_d_star;
-        loss_rate = r.Identify.loss_rate;
-      }
-    end
-    else
-      {
-        at = last;
-        conclusion = None;
-        f_at_two_d_star = Float.nan;
-        loss_rate = Probe.Trace.loss_rate segment;
-      }
+    let sample =
+      if Identify.identifiable segment then begin
+        let r = Identify.run ~params ~rng:rngs.(w) segment in
+        {
+          at = last;
+          conclusion = Some r.Identify.conclusion;
+          f_at_two_d_star = r.Identify.wdcl.Tests.f_at_two_d_star;
+          loss_rate = r.Identify.loss_rate;
+        }
+      end
+      else
+        {
+          at = last;
+          conclusion = None;
+          f_at_two_d_star = Float.nan;
+          loss_rate = Probe.Trace.loss_rate segment;
+        }
+    in
+    Obs.Span.stop h_window t0;
+    sample
   in
-  Array.to_list (Stats.Par.map_range ~domains count eval)
+  let samples = Array.to_list (Stats.Par.map_range ~domains count eval) in
+  (* Conclusion-transition events are emitted after all windows are
+     collected (not from inside [eval]): with [domains > 1] the windows
+     finish out of order, and the operator-facing event stream must be
+     chronological. *)
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        if b.conclusion <> a.conclusion then begin
+          Obs.Counter.incr m_transitions;
+          match on_change with
+          | Some f -> f ~at:b.at ~was:a.conclusion ~now:b.conclusion
+          | None -> ()
+        end;
+        walk rest
+    | [] | [ _ ] -> ()
+  in
+  walk samples;
+  samples
 
 let changes samples =
   let rec collapse prev acc = function

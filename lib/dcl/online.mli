@@ -20,6 +20,11 @@ type sample = {
 val scan :
   ?params:Identify.params ->
   ?domains:int ->
+  ?on_change:
+    (at:float ->
+    was:Identify.conclusion option ->
+    now:Identify.conclusion option ->
+    unit) ->
   rng:Stats.Rng.t ->
   window:float ->
   stride:float ->
@@ -38,7 +43,16 @@ val scan :
     its own RNG pre-split from [rng], so with [domains > 1] the windows
     are evaluated on that many concurrent domains of the persistent
     pool ({!Stats.Pool}) and the samples are identical to the serial
-    run. *)
+    run.
+
+    [on_change] is called once per conclusion transition — each
+    consecutive window pair whose conclusions differ — with the
+    timestamp of the later window and the two conclusions.  The calls
+    happen after all windows are evaluated, in chronological order, on
+    the calling domain, regardless of [domains] and of whether
+    observability collection is enabled (the
+    [dcl_online_conclusion_transitions_total] counter, by contrast,
+    only counts while enabled). *)
 
 val changes : sample list -> (float * Identify.conclusion option) list
 (** Collapse a scan to its change points: the first sample and every

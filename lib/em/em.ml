@@ -8,9 +8,58 @@ type model = {
 }
 
 type observation = int option
-type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+
+type fit_stats = {
+  iterations : int;
+  log_likelihood : float;
+  converged : bool;
+  skipped_restarts : int;
+}
+
+let pp_fit_stats ppf s =
+  Format.fprintf ppf "%d iterations (%s), logL=%.3f, %d degenerate restart%s skipped"
+    s.iterations
+    (if s.converged then "converged" else "max-iter")
+    s.log_likelihood s.skipped_restarts
+    (if s.skipped_restarts = 1 then "" else "s")
 
 exception Zero_likelihood of int
+
+(* Telemetry: registered once at module load, recorded only while Obs
+   collection is enabled (each call is a single flag check otherwise).
+   Span timings use integer nanoseconds end to end, so the disabled
+   path allocates nothing even inside the per-iteration loop. *)
+let m_iterations =
+  Obs.Counter.make ~help:"EM iterations run (E+M steps), all fits and restarts"
+    "dcl_em_iterations_total"
+
+let m_fits = Obs.Counter.make ~help:"EM fits completed" "dcl_em_fits_total"
+
+let m_sweep =
+  Obs.Histogram.make ~help:"Wall time of one EM iteration (one em_step)"
+    "dcl_em_sweep_seconds"
+
+let m_zero =
+  Obs.Counter.make ~help:"Observations found impossible under the current model"
+    "dcl_em_zero_likelihood_total"
+
+let m_degenerate =
+  Obs.Counter.make ~help:"Restarts skipped after hitting a zero-likelihood degeneracy"
+    "dcl_em_degenerate_restarts_total"
+
+let m_last_ll =
+  Obs.Gauge.make ~help:"Final log-likelihood of the most recently completed fit"
+    "dcl_em_last_log_likelihood"
+
+(* Per-iteration log-likelihood trace hook: when installed, [fit_from]
+   computes the likelihood after every EM step (one extra forward pass
+   per iteration) and reports it.  The hook may be called concurrently
+   from racing restart domains; it must be thread-safe. *)
+let iteration_trace :
+    (iteration:int -> log_likelihood:float -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_iteration_trace h = Atomic.set iteration_trace h
 
 (* Floors applied by the M-step so no re-estimated emission or
    transition probability can collapse to exactly zero (a collapsed row
@@ -222,7 +271,10 @@ let forward ws (t : model) tt =
     Array.unsafe_set alpha st v;
     s0 := !s0 +. v
   done;
-  if !s0 <= 0. then raise (Zero_likelihood 0);
+  if !s0 <= 0. then begin
+    Obs.Counter.incr m_zero;
+    raise (Zero_likelihood 0)
+  end;
   scale.(0) <- !s0;
   ll := log !s0;
   let inv0 = 1. /. !s0 in
@@ -238,7 +290,10 @@ let forward ws (t : model) tt =
     fwd_step a_t act alpha e_all ~base ~len ~basep ~lenp ~row ~rowp ~s scale
       ~time;
     let sc = Array.unsafe_get scale time in
-    if sc <= 0. then raise (Zero_likelihood time);
+    if sc <= 0. then begin
+      Obs.Counter.incr m_zero;
+      raise (Zero_likelihood time)
+    end;
     ll := !ll +. log sc;
     let inv = 1. /. sc in
     for idx = 0 to len - 1 do
@@ -504,15 +559,30 @@ let param_change old_t new_t =
 
 let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
   let rec iterate t iter =
+    let t0_ns = Obs.Span.start () in
     let t' = em_step ~ws ~update_b t obs in
+    Obs.Span.stop m_sweep t0_ns;
+    (match Atomic.get iteration_trace with
+    | None -> ()
+    | Some hook ->
+        hook ~iteration:(iter + 1) ~log_likelihood:(log_likelihood ~ws t' obs));
     let change = param_change t t' in
-    if change <= eps || iter + 1 >= max_iter then
-      ( t',
+    if change <= eps || iter + 1 >= max_iter then begin
+      let stats =
         {
           iterations = iter + 1;
           log_likelihood = log_likelihood ~ws t' obs;
           converged = change <= eps;
-        } )
+          skipped_restarts = 0;
+        }
+      in
+      if Obs.enabled () then begin
+        Obs.Counter.add m_iterations stats.iterations;
+        Obs.Counter.incr m_fits;
+        Obs.Gauge.set m_last_ll stats.log_likelihood
+      end;
+      (t', stats)
+    end
     else iterate t' (iter + 1)
   in
   iterate t0 0
@@ -532,10 +602,11 @@ let fit_restarts ?eps ?max_iter ?(domains = 1) ~restarts ~update_b ~init obs =
   in
   let results = Stats.Par.map_range ~domains restarts attempt in
   let best = ref None in
+  let skipped = ref 0 in
   Array.iter
     (fun cand ->
       match (cand, !best) with
-      | None, _ -> ()
+      | None, _ -> incr skipped
       | Some c, None -> best := Some c
       | Some ((_, cs) as c), Some (_, bs) ->
           let better =
@@ -544,6 +615,7 @@ let fit_restarts ?eps ?max_iter ?(domains = 1) ~restarts ~update_b ~init obs =
           in
           if better then best := Some c)
     results;
+  if !skipped > 0 then Obs.Counter.add m_degenerate !skipped;
   match !best with
-  | Some r -> r
+  | Some (model, stats) -> (model, { stats with skipped_restarts = !skipped })
   | None -> failwith "Em.fit_restarts: every restart hit a zero-likelihood degeneracy"

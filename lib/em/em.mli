@@ -41,7 +41,18 @@ type model = {
 type observation = int option
 (** [Some j]: delay symbol [j] observed; [None]: probe lost. *)
 
-type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+type fit_stats = {
+  iterations : int;
+  log_likelihood : float;
+  converged : bool;
+  skipped_restarts : int;
+      (** Restarts discarded as degenerate ({!Zero_likelihood}) by
+          {!fit_restarts}; always [0] from {!fit_from}. *)
+}
+
+val pp_fit_stats : Format.formatter -> fit_stats -> unit
+(** ["42 iterations (converged), logL=-123.456, 1 degenerate restart
+    skipped"]-style one-liner. *)
 
 exception Zero_likelihood of int
 (** Raised (with the offending time index) when an observation has zero
@@ -84,6 +95,15 @@ val em_step : ws:workspace -> update_b:bool -> model -> observation array -> mod
     zero (transitions and any re-estimated [b] at 1e-12 before row
     normalization, [c] clamped to [1e-9, 1 - 1e-9]) so that a symbol's
     emission probability cannot collapse to exactly zero during EM. *)
+
+val set_iteration_trace :
+  (iteration:int -> log_likelihood:float -> unit) option -> unit
+(** Install (or remove, with [None]) a process-wide per-iteration hook:
+    after every EM sweep, {!fit_from} calls it with the 1-based
+    iteration number and the log-likelihood of the {e updated} model.
+    Costs one extra forward pass per iteration while installed; the
+    hook may fire concurrently from several domains during
+    {!fit_restarts}. *)
 
 val fit_from :
   ws:workspace ->

@@ -13,7 +13,10 @@ type fit_stats = Em.fit_stats = {
   iterations : int;
   log_likelihood : float;
   converged : bool;
+  skipped_restarts : int;
 }
+
+let pp_fit_stats = Em.pp_fit_stats
 
 let clamp_prob p = Float.max 1e-6 (Float.min (1. -. 1e-6) p)
 

@@ -22,11 +22,15 @@ type t = {
 type observation = int option
 (** [Some j]: delay symbol [j] observed; [None]: probe lost. *)
 
-type fit_stats = {
+type fit_stats = Em.fit_stats = {
   iterations : int;
   log_likelihood : float;
   converged : bool;  (** parameter change fell below the threshold *)
+  skipped_restarts : int;
+      (** restarts discarded as degenerate by {!fit}; [0] from {!fit_from} *)
 }
+
+val pp_fit_stats : Format.formatter -> fit_stats -> unit
 
 val init_random : Stats.Rng.t -> n:int -> m:int -> loss_fraction:float -> t
 (** Random starting point: stochastic [pi], [a], [b] bounded away from

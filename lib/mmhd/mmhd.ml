@@ -12,7 +12,10 @@ type fit_stats = Em.fit_stats = {
   iterations : int;
   log_likelihood : float;
   converged : bool;
+  skipped_restarts : int;
 }
+
+let pp_fit_stats = Em.pp_fit_stats
 
 let states t = t.n * t.m
 

@@ -23,7 +23,15 @@ type t = {
 
 type observation = int option
 
-type fit_stats = { iterations : int; log_likelihood : float; converged : bool }
+type fit_stats = Em.fit_stats = {
+  iterations : int;
+  log_likelihood : float;
+  converged : bool;
+  skipped_restarts : int;
+      (** restarts discarded as degenerate by {!fit}; [0] from {!fit_from} *)
+}
+
+val pp_fit_stats : Format.formatter -> fit_stats -> unit
 
 val states : t -> int
 (** [n * m]. *)

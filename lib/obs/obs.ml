@@ -1,0 +1,363 @@
+(* Metrics registry and spans.  See obs.mli for the contract; the two
+   load-bearing properties are (1) the disabled path is one atomic load
+   and zero allocation per recording call, and (2) the enabled hot path
+   is lock-free: every mutable cell is an Atomic.t, and counter /
+   histogram cells are sharded by domain id so pool workers do not
+   bounce a cache line between cores. *)
+
+external now_ns_ext : unit -> int = "dcl_obs_now_ns" [@@noalloc]
+
+let flag = Atomic.make false
+
+let () =
+  match Sys.getenv_opt "DCL_OBS" with
+  | Some ("1" | "true" | "yes") -> Atomic.set flag true
+  | _ -> ()
+
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+(* Shard count: power of two so the domain id masks cheaply.  Domain
+   ids are assigned consecutively (main = 0, pool workers 1..k), so
+   with the pool's worker cap well below 16 every domain gets its own
+   shard; a collision merely shares an atomic, it is never wrong. *)
+let shards = 16
+
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+(* Float accumulation over a boxed-float atomic: CAS loop.  The read
+   value is physically the stored box, so compare_and_set's [==] test
+   is exact. *)
+let rec atomic_add_float cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. x)) then atomic_add_float cell x
+
+let rec atomic_max_float cell x =
+  let cur = Atomic.get cell in
+  if x > cur && not (Atomic.compare_and_set cell cur x) then atomic_max_float cell x
+
+type counter = { c_ints : int Atomic.t array; c_floats : float Atomic.t array }
+
+type gauge = { g_cell : float Atomic.t }
+
+type histogram = {
+  h_uppers : float array;
+  (* shard-major: shard s, bucket i at [s * (buckets + 1) + i]; the
+     last column is the +Inf overflow bucket. *)
+  h_counts : int Atomic.t array;
+  h_sums : float Atomic.t array;
+}
+
+type kind = Kcounter of counter | Kgauge of gauge | Khistogram of histogram
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  kind : kind;
+}
+
+(* Registration is rare (module initialization, pool worker spawn) and
+   the only mutex in the module; recording never touches it. *)
+let registry : (string * (string * string) list, metric) Hashtbl.t = Hashtbl.create 64
+let reg_mutex = Mutex.create ()
+
+let kind_name = function
+  | Kcounter _ -> "counter"
+  | Kgauge _ -> "gauge"
+  | Khistogram _ -> "histogram"
+
+let register ~labels ~help name fresh project =
+  Mutex.lock reg_mutex;
+  let m =
+    match Hashtbl.find_opt registry (name, labels) with
+    | Some m -> m
+    | None ->
+        let m = { name; labels; help; kind = fresh () } in
+        Hashtbl.add registry (name, labels) m;
+        m
+  in
+  Mutex.unlock reg_mutex;
+  match project m.kind with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs: %s is already registered as a %s" name
+           (kind_name m.kind))
+
+module Counter = struct
+  let make ?(labels = []) ?(help = "") name =
+    register ~labels ~help name
+      (fun () ->
+        Kcounter
+          {
+            c_ints = Array.init shards (fun _ -> Atomic.make 0);
+            c_floats = Array.init shards (fun _ -> Atomic.make 0.);
+          })
+      (function Kcounter c -> Some c | _ -> None)
+
+  let incr c =
+    if Atomic.get flag then
+      ignore (Atomic.fetch_and_add (Array.unsafe_get c.c_ints (shard ())) 1)
+
+  let add c n =
+    if Atomic.get flag then
+      ignore (Atomic.fetch_and_add (Array.unsafe_get c.c_ints (shard ())) n)
+
+  let add_float c x =
+    if Atomic.get flag then atomic_add_float (Array.unsafe_get c.c_floats (shard ())) x
+
+  let value c =
+    let acc = ref 0. in
+    Array.iter (fun a -> acc := !acc +. float_of_int (Atomic.get a)) c.c_ints;
+    Array.iter (fun a -> acc := !acc +. Atomic.get a) c.c_floats;
+    !acc
+end
+
+module Gauge = struct
+  let make ?(labels = []) ?(help = "") name =
+    register ~labels ~help name
+      (fun () -> Kgauge { g_cell = Atomic.make 0. })
+      (function Kgauge g -> Some g | _ -> None)
+
+  let set g x = if Atomic.get flag then Atomic.set g.g_cell x
+  let add g x = if Atomic.get flag then atomic_add_float g.g_cell x
+  let set_max g x = if Atomic.get flag then atomic_max_float g.g_cell x
+  let value g = Atomic.get g.g_cell
+end
+
+module Histogram = struct
+  let default_latency_buckets =
+    [|
+      1e-6; 1e-5; 1e-4; 2.5e-4; 1e-3; 2.5e-3; 1e-2; 2.5e-2; 0.1; 0.25; 1.; 2.5;
+      10.; 60.;
+    |]
+
+  let make ?(labels = []) ?(help = "") ?(buckets = default_latency_buckets) name =
+    let nb = Array.length buckets in
+    if nb = 0 then invalid_arg "Obs.Histogram.make: empty bucket list";
+    for i = 1 to nb - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg "Obs.Histogram.make: buckets must be strictly increasing"
+    done;
+    register ~labels ~help name
+      (fun () ->
+        Khistogram
+          {
+            h_uppers = Array.copy buckets;
+            h_counts = Array.init (shards * (nb + 1)) (fun _ -> Atomic.make 0);
+            h_sums = Array.init shards (fun _ -> Atomic.make 0.);
+          })
+      (function Khistogram h -> Some h | _ -> None)
+
+  (* Smallest bucket whose (inclusive) upper bound holds [v]; the
+     overflow index is [Array.length uppers].  Linear scan: the default
+     bucket list has 14 entries and observations cluster low. *)
+  let bucket_index h v =
+    let uppers = h.h_uppers in
+    let nb = Array.length uppers in
+    let i = ref 0 in
+    while !i < nb && v > Array.unsafe_get uppers !i do
+      incr i
+    done;
+    !i
+
+  let observe h v =
+    if Atomic.get flag then begin
+      let nb = Array.length h.h_uppers in
+      let base = shard () * (nb + 1) in
+      ignore
+        (Atomic.fetch_and_add (Array.unsafe_get h.h_counts (base + bucket_index h v)) 1);
+      atomic_add_float (Array.unsafe_get h.h_sums (base / (nb + 1))) v
+    end
+
+  let raw_bucket h i =
+    (* Sum of shard cells for (non-cumulative) bucket [i]. *)
+    let nb = Array.length h.h_uppers in
+    let acc = ref 0 in
+    for s = 0 to shards - 1 do
+      acc := !acc + Atomic.get h.h_counts.((s * (nb + 1)) + i)
+    done;
+    !acc
+
+  let count h =
+    let nb = Array.length h.h_uppers in
+    let acc = ref 0 in
+    for i = 0 to nb do
+      acc := !acc + raw_bucket h i
+    done;
+    !acc
+
+  let sum h =
+    let acc = ref 0. in
+    Array.iter (fun a -> acc := !acc +. Atomic.get a) h.h_sums;
+    !acc
+
+  let bucket_counts h =
+    let nb = Array.length h.h_uppers in
+    let cum = ref 0 in
+    Array.init (nb + 1) (fun i ->
+        cum := !cum + raw_bucket h i;
+        ((if i < nb then h.h_uppers.(i) else infinity), !cum))
+end
+
+module Span = struct
+  let now_ns = now_ns_ext
+  let start () = if Atomic.get flag then now_ns_ext () else 0
+
+  let stop h t0 =
+    if t0 <> 0 && Atomic.get flag then
+      Histogram.observe h (float_of_int (now_ns_ext () - t0) *. 1e-9)
+
+  let time h f =
+    let t0 = start () in
+    let r = f () in
+    stop h t0;
+    r
+end
+
+(* --- Export ------------------------------------------------------------- *)
+
+let sorted_metrics () =
+  Mutex.lock reg_mutex;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock reg_mutex;
+  List.sort
+    (fun a b ->
+      match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
+    ms
+
+(* %.17g-style shortest-exact is overkill here; %g is stable for equal
+   inputs, which is all snapshot determinism needs. *)
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%g" x
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch -> Buffer.add_char b ch)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label v)) labels)
+      ^ "}"
+
+(* Labels merged with extras (histogram [le]), for the _bucket lines. *)
+let render_labels_extra labels extra = render_labels (labels @ extra)
+
+let prometheus () =
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun m ->
+      if m.name <> !last_family then begin
+        last_family := m.name;
+        if m.help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.name (kind_name m.kind))
+      end;
+      match m.kind with
+      | Kcounter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+               (fmt_float (Counter.value c)))
+      | Kgauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" m.name (render_labels m.labels)
+               (fmt_float (Gauge.value g)))
+      | Khistogram h ->
+          Array.iter
+            (fun (upper, cum) ->
+              let le = if upper = infinity then "+Inf" else fmt_float upper in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" m.name
+                   (render_labels_extra m.labels [ ("le", le) ])
+                   cum))
+            (Histogram.bucket_counts h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" m.name (render_labels m.labels)
+               (fmt_float (Histogram.sum h)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.name (render_labels m.labels)
+               (Histogram.count h)))
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "%S" s
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) (json_string v)) labels)
+  ^ "}"
+
+let json () =
+  let counters = Buffer.create 512
+  and gauges = Buffer.create 512
+  and hists = Buffer.create 1024 in
+  let sep buf = if Buffer.length buf > 0 then Buffer.add_string buf "," in
+  List.iter
+    (fun m ->
+      match m.kind with
+      | Kcounter c ->
+          sep counters;
+          Buffer.add_string counters
+            (Printf.sprintf "{\"name\":%s,\"labels\":%s,\"value\":%s}"
+               (json_string m.name) (json_labels m.labels)
+               (fmt_float (Counter.value c)))
+      | Kgauge g ->
+          sep gauges;
+          Buffer.add_string gauges
+            (Printf.sprintf "{\"name\":%s,\"labels\":%s,\"value\":%s}"
+               (json_string m.name) (json_labels m.labels)
+               (fmt_float (Gauge.value g)))
+      | Khistogram h ->
+          sep hists;
+          let buckets =
+            Array.to_list (Histogram.bucket_counts h)
+            |> List.map (fun (upper, cum) ->
+                   Printf.sprintf "{\"le\":%s,\"count\":%d}"
+                     (if upper = infinity then "\"+Inf\"" else fmt_float upper)
+                     cum)
+            |> String.concat ","
+          in
+          Buffer.add_string hists
+            (Printf.sprintf
+               "{\"name\":%s,\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+               (json_string m.name) (json_labels m.labels) (Histogram.count h)
+               (fmt_float (Histogram.sum h))
+               buckets))
+    (sorted_metrics ());
+  Printf.sprintf "{\"counters\":[%s],\"gauges\":[%s],\"histograms\":[%s]}\n"
+    (Buffer.contents counters) (Buffer.contents gauges) (Buffer.contents hists)
+
+let write dest =
+  if dest = "-" then print_string (prometheus ())
+  else begin
+    let oc = open_out dest in
+    output_string oc (if Filename.check_suffix dest ".json" then json () else prometheus ());
+    close_out oc
+  end
+
+let reset () =
+  List.iter
+    (fun m ->
+      match m.kind with
+      | Kcounter c ->
+          Array.iter (fun a -> Atomic.set a 0) c.c_ints;
+          Array.iter (fun a -> Atomic.set a 0.) c.c_floats
+      | Kgauge g -> Atomic.set g.g_cell 0.
+      | Khistogram h ->
+          Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+          Array.iter (fun a -> Atomic.set a 0.) h.h_sums)
+    (sorted_metrics ())

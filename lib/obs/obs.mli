@@ -1,0 +1,152 @@
+(** Process-wide, domain-safe metrics registry and monotonic-clock
+    spans — the observability layer of the identification stack.
+
+    Instrumentation sites create metrics once at module initialization
+    ({!Counter.make} and friends are idempotent: the same name+labels
+    returns the same metric) and then record into them unconditionally;
+    every recording operation first reads one process-global enabled
+    flag and is a no-op returning immediately when collection is off.
+    The disabled path performs no allocation: counters and gauges take
+    immediate arguments, and spans communicate start times as plain
+    [int] nanoseconds ({!Span.start} returns [0] when disabled), so no
+    float or [int64] is ever boxed on behalf of a disabled metric.
+
+    When enabled, the hot path stays lock-free: counter and histogram
+    cells are per-domain-sharded [Atomic.t] slots (indexed by the
+    calling domain's id, so pool workers never contend on a cache
+    line), gauges are a single atomic cell, and float accumulation uses
+    a compare-and-set loop.  The only mutex in the module guards metric
+    {e registration}, which happens at module-load time.
+
+    Collection is enabled by the [DCL_OBS] environment variable ([1],
+    [true] or [yes]) or programmatically with {!set_enabled} (the
+    binaries enable it when [--metrics] is passed).  Snapshots are
+    exported as Prometheus text format ({!prometheus}) or JSON
+    ({!json}); both iterate the registry in sorted order, so two dumps
+    with no intervening events are byte-identical.
+
+    Naming convention: [dcl_<layer>_<metric>], e.g.
+    [dcl_em_iterations_total], [dcl_pool_queue_wait_seconds],
+    [dcl_identify_stage_seconds{stage="fit"}]. *)
+
+val enabled : unit -> bool
+(** Whether collection is on.  A single atomic load. *)
+
+val set_enabled : bool -> unit
+(** Turn collection on or off at runtime.  Metrics recorded while
+    enabled are retained across a disable/enable cycle. *)
+
+type counter
+type gauge
+type histogram
+
+module Counter : sig
+  (** Monotonically increasing value, sharded per domain.  Carries an
+      integer fast path ({!incr}/{!add}: one [Atomic.fetch_and_add])
+      and a float side ({!add_float}, CAS loop) for second-valued
+      totals such as busy time. *)
+
+  val make : ?labels:(string * string) list -> ?help:string -> string -> counter
+  (** [make name] registers (or retrieves) the counter [name] with the
+      given label set.  Idempotent per (name, labels); re-registering
+      the same key as a different metric kind raises
+      [Invalid_argument]. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val add_float : counter -> float -> unit
+
+  val value : counter -> float
+  (** Sum over all shards (integer and float sides). *)
+end
+
+module Gauge : sig
+  (** A value that can go up and down; one atomic cell. *)
+
+  val make : ?labels:(string * string) list -> ?help:string -> string -> gauge
+  val set : gauge -> float -> unit
+  val add : gauge -> float -> unit
+
+  val set_max : gauge -> float -> unit
+  (** Raise the gauge to [v] if [v] is larger — high-water marks. *)
+
+  val value : gauge -> float
+end
+
+module Histogram : sig
+  (** Fixed-bucket histogram (Prometheus semantics: bucket [i] counts
+      observations [<= uppers.(i)], cumulative on export, plus a
+      [+Inf] overflow bucket, a total count and a sum).  Bucket counts
+      are per-domain-sharded atomics. *)
+
+  val default_latency_buckets : float array
+  (** Log-ish spacing from 1 µs to 60 s, suited to everything from a
+      single EM sweep to a full pipeline stage. *)
+
+  val make :
+    ?labels:(string * string) list ->
+    ?help:string ->
+    ?buckets:float array ->
+    string ->
+    histogram
+  (** [buckets] must be strictly increasing (default
+      {!default_latency_buckets}).  Idempotent like {!Counter.make}. *)
+
+  val observe : histogram -> float -> unit
+
+  val bucket_index : histogram -> float -> int
+  (** Index of the bucket that would receive [v]: the smallest [i] with
+      [v <= uppers.(i)], or [Array.length uppers] for the [+Inf]
+      overflow bucket.  Exposed so tests can pin the boundary
+      (inclusive upper edge) behaviour. *)
+
+  val count : histogram -> int
+  val sum : histogram -> float
+
+  val bucket_counts : histogram -> (float * int) array
+  (** Cumulative [(upper_bound, count <= upper_bound)] pairs ending
+      with [(infinity, count)], as Prometheus exports them. *)
+end
+
+module Span : sig
+  (** Monotonic wall-clock timing of a region, recorded into a latency
+      histogram.  The disabled path is one flag check per call and
+      allocates nothing (times travel as immediate [int]
+      nanoseconds). *)
+
+  val now_ns : unit -> int
+  (** CLOCK_MONOTONIC in integer nanoseconds; never allocates. *)
+
+  val start : unit -> int
+  (** [0] when collection is disabled, {!now_ns} otherwise. *)
+
+  val stop : histogram -> int -> unit
+  (** [stop h t0] observes the elapsed seconds since [t0] into [h]; a
+      no-op when disabled or when [t0 = 0] (the span started while
+      disabled). *)
+
+  val time : histogram -> (unit -> 'a) -> 'a
+  (** [time h f] runs [f] inside a span.  Allocates a closure at the
+      call site; prefer {!start}/{!stop} on allocation-sensitive
+      paths. *)
+end
+
+(** {1 Export} *)
+
+val prometheus : unit -> string
+(** The registry as a Prometheus text-format snapshot ([# HELP] /
+    [# TYPE] per family, metrics sorted by name then labels). *)
+
+val json : unit -> string
+(** The registry as a JSON object
+    [{"counters": [...], "gauges": [...], "histograms": [...]}], same
+    ordering as {!prometheus}. *)
+
+val write : string -> unit
+(** Write a snapshot to a destination: ["-"] prints Prometheus text to
+    stdout; a path ending in [.json] writes JSON; any other path writes
+    Prometheus text. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registration survives).  For tests
+    and benches. *)

@@ -1,0 +1,14 @@
+/* Monotonic clock for Obs spans: CLOCK_MONOTONIC nanoseconds as an
+   OCaml immediate int (63 bits holds ~292 years), so reading the clock
+   never allocates.  [@@noalloc] on the OCaml side skips the caml_enter/
+   leave_blocking_section dance; clock_gettime on a vDSO platform is a
+   few tens of nanoseconds. */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value dcl_obs_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -21,7 +21,50 @@ type job = {
   mutable next : int; (* first unissued index; [n] once exhausted *)
   mutable in_flight : int; (* chunks currently being evaluated *)
   mutable failed : (int * exn) option; (* lowest-index failure *)
+  submitted_ns : int; (* Obs.Span.now_ns at submission; 0 when obs is off *)
+  mutable busy_ns : int; (* total chunk-evaluation time (under [mutex]) *)
 }
+
+(* Telemetry (no-ops while Obs collection is disabled).  Per-chunk
+   recording lives behind a single [Obs.enabled] check per chunk, so
+   the scheduling hot path is untouched when observability is off. *)
+let m_jobs = Obs.Counter.make ~help:"Pool jobs submitted" "dcl_pool_jobs_total"
+let m_items = Obs.Counter.make ~help:"Pool items evaluated" "dcl_pool_items_total"
+
+let m_chunks =
+  Obs.Counter.make ~help:"Index-range chunks pulled off the job queue"
+    "dcl_pool_chunks_total"
+
+let m_queue_wait =
+  Obs.Histogram.make
+    ~help:"Delay between job submission and the start of each of its chunks"
+    "dcl_pool_queue_wait_seconds"
+
+let m_workers =
+  Obs.Gauge.make ~help:"Persistent worker domains spawned so far" "dcl_pool_workers"
+
+let m_utilization =
+  Obs.Gauge.make
+    ~help:"Busy fraction of the participating domains during the last pool job"
+    "dcl_pool_utilization_ratio"
+
+let m_busy =
+  Obs.Counter.make ~help:"Total chunk-evaluation time across all domains"
+    "dcl_pool_busy_seconds_total"
+
+(* Per-evaluating-domain item counters: one per worker (labeled by its
+   spawn index) plus one for the submitting caller's own chunks. *)
+let worker_items idx =
+  Obs.Counter.make
+    ~labels:[ ("worker", string_of_int idx) ]
+    ~help:"Items evaluated per pool domain (caller = submitting domain)"
+    "dcl_pool_worker_items_total"
+
+let caller_items =
+  Obs.Counter.make
+    ~labels:[ ("worker", "caller") ]
+    ~help:"Items evaluated per pool domain (caller = submitting domain)"
+    "dcl_pool_worker_items_total"
 
 let mutex = Mutex.create ()
 
@@ -62,7 +105,7 @@ let set_capacity c = capacity_override := Some (max 0 c)
    deterministic because chunks are issued in increasing index order —
    by the time item [i] is issued, every chunk containing a smaller
    index has been issued and will run to completion. *)
-let eval_chunks j =
+let eval_chunks ~items_c j =
   let flag = Domain.DLS.get in_job_key in
   flag := true;
   while j.next < j.n do
@@ -71,6 +114,19 @@ let eval_chunks j =
     j.next <- hi;
     j.in_flight <- j.in_flight + 1;
     Mutex.unlock mutex;
+    let t0 =
+      if Obs.enabled () then begin
+        let t0 = Obs.Span.now_ns () in
+        if j.submitted_ns <> 0 then
+          Obs.Histogram.observe m_queue_wait
+            (float_of_int (t0 - j.submitted_ns) *. 1e-9);
+        Obs.Counter.incr m_chunks;
+        Obs.Counter.add m_items (hi - lo);
+        Obs.Counter.add items_c (hi - lo);
+        t0
+      end
+      else 0
+    in
     let err =
       let i = ref lo in
       try
@@ -82,6 +138,11 @@ let eval_chunks j =
       with e -> Some (!i, e)
     in
     Mutex.lock mutex;
+    if t0 <> 0 then begin
+      let d = Obs.Span.now_ns () - t0 in
+      j.busy_ns <- j.busy_ns + d;
+      Obs.Counter.add_float m_busy (float_of_int d *. 1e-9)
+    end;
     j.in_flight <- j.in_flight - 1;
     (match err with
     | None -> ()
@@ -95,7 +156,7 @@ let eval_chunks j =
   flag := false;
   if j.in_flight = 0 then Condition.broadcast idle
 
-let rec worker_loop () =
+let rec worker_loop items_c =
   Mutex.lock mutex;
   let job = ref None in
   while
@@ -109,9 +170,9 @@ let rec worker_loop () =
   match !job with
   | None -> Mutex.unlock mutex (* quitting *)
   | Some j ->
-      eval_chunks j;
+      eval_chunks ~items_c j;
       Mutex.unlock mutex;
-      worker_loop ()
+      worker_loop items_c
 
 let shutdown () =
   Mutex.lock mutex;
@@ -127,9 +188,14 @@ let ensure_workers want =
   let want = min want (capacity ()) in
   if !spawned = 0 && want > 0 then at_exit shutdown;
   while !spawned < want do
-    handles := Domain.spawn worker_loop :: !handles;
+    (* Create the worker's item counter on the spawning domain: metric
+       registration takes the registry mutex, which the worker loop
+       itself never needs to touch. *)
+    let items_c = worker_items !spawned in
+    handles := Domain.spawn (fun () -> worker_loop items_c) :: !handles;
     incr spawned
-  done
+  done;
+  Obs.Gauge.set m_workers (float_of_int !spawned)
 
 let run ~participants n runit =
   if n > 0 then
@@ -145,6 +211,14 @@ let run ~participants n runit =
       ensure_workers (participants - 1);
       if !spawned = 0 then begin
         Mutex.unlock submit_mutex;
+        (* No workers to hand the job to (single-core machine or zero
+           capacity): the caller evaluates every item itself.  Still a
+           submitted pool job, so account for it. *)
+        if Obs.enabled () then begin
+          Obs.Counter.incr m_jobs;
+          Obs.Counter.add m_items n;
+          Obs.Counter.add caller_items n
+        end;
         for i = 0 to n - 1 do
           runit i
         done
@@ -154,16 +228,39 @@ let run ~participants n runit =
            domains steal remaining work from slow ones; for the common
            restart-racing case (n = participants) the chunk is 1. *)
         let chunk = max 1 (n / (participants * 4)) in
-        let j = { run = runit; n; chunk; next = 0; in_flight = 0; failed = None } in
+        let submitted_ns = if Obs.enabled () then Obs.Span.now_ns () else 0 in
+        Obs.Counter.incr m_jobs;
+        let j =
+          {
+            run = runit;
+            n;
+            chunk;
+            next = 0;
+            in_flight = 0;
+            failed = None;
+            submitted_ns;
+            busy_ns = 0;
+          }
+        in
         Mutex.lock mutex;
         current := Some j;
         Condition.broadcast work;
-        eval_chunks j;
+        eval_chunks ~items_c:caller_items j;
         while j.next < j.n || j.in_flight > 0 do
           Condition.wait idle mutex
         done;
         current := None;
         Mutex.unlock mutex;
+        if submitted_ns <> 0 then begin
+          (* Busy fraction of the domains that could have worked on the
+             job: evaluation time over concurrency * makespan. *)
+          let wall = Obs.Span.now_ns () - submitted_ns in
+          let concurrency = min participants (!spawned + 1) in
+          if wall > 0 then
+            Obs.Gauge.set m_utilization
+              (float_of_int j.busy_ns
+              /. (float_of_int wall *. float_of_int concurrency))
+        end;
         Mutex.unlock submit_mutex;
         match j.failed with Some (_, e) -> raise e | None -> ()
       end

@@ -93,10 +93,35 @@ let test_degenerate_restart_skipped () =
   let model, stats =
     Em.fit_restarts ~max_iter:20 ~restarts:2 ~update_b:true ~init em_obs
   in
-  (* The surviving restart's fit is returned, not an exception. *)
+  (* The surviving restart's fit is returned, not an exception, and the
+     discarded restart is accounted for. *)
   Alcotest.(check bool) "finite log-likelihood" true
     (Float.is_finite stats.Em.log_likelihood);
-  Alcotest.(check int) "state count preserved" 2 model.Em.s
+  Alcotest.(check int) "state count preserved" 2 model.Em.s;
+  Alcotest.(check int) "one restart skipped" 1 stats.Em.skipped_restarts
+
+let test_healthy_fit_skips_nothing () =
+  let _, stats =
+    Em.fit_restarts ~max_iter:20 ~restarts:3 ~update_b:true
+      ~init:(fun _ -> sane_model)
+      em_obs
+  in
+  Alcotest.(check int) "no skipped restarts" 0 stats.Em.skipped_restarts;
+  let ws = Em.workspace () in
+  let _, from_stats = Em.fit_from ~ws ~max_iter:20 ~update_b:true sane_model em_obs in
+  Alcotest.(check int) "fit_from never skips" 0 from_stats.Em.skipped_restarts
+
+let test_pp_fit_stats () =
+  let s =
+    { Em.iterations = 42; log_likelihood = -12.5; converged = true; skipped_restarts = 1 }
+  in
+  Alcotest.(check string) "render"
+    "42 iterations (converged), logL=-12.500, 1 degenerate restart skipped"
+    (Format.asprintf "%a" Em.pp_fit_stats s);
+  let s' = { s with Em.converged = false; skipped_restarts = 0 } in
+  Alcotest.(check string) "render max-iter"
+    "42 iterations (max-iter), logL=-12.500, 0 degenerate restarts skipped"
+    (Format.asprintf "%a" Em.pp_fit_stats s')
 
 let test_all_degenerate_fails () =
   Alcotest.check_raises "all restarts degenerate"
@@ -194,6 +219,9 @@ let () =
         [
           Alcotest.test_case "degenerate restart skipped" `Quick
             test_degenerate_restart_skipped;
+          Alcotest.test_case "healthy fit skips nothing" `Quick
+            test_healthy_fit_skips_nothing;
+          Alcotest.test_case "pp_fit_stats" `Quick test_pp_fit_stats;
           Alcotest.test_case "all degenerate fails" `Quick test_all_degenerate_fails;
           Alcotest.test_case "zero likelihood carries time" `Quick
             test_zero_likelihood_carries_time;

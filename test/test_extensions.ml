@@ -254,6 +254,43 @@ let test_online_changes_collapse () =
   Alcotest.(check (list (float 0.))) "at the right times" [ 1.; 3.; 5. ]
     (List.map fst changes)
 
+(* The conclusion-changed event stream must be exactly the transitions
+   of the sample list: one event per consecutive pair that disagrees,
+   in chronological order, carrying both conclusions.  The two-regime
+   trace guarantees at least one real transition to exercise it. *)
+let test_online_conclusion_changed_events () =
+  let trace = online_trace () in
+  let rng = Stats.Rng.create 3 in
+  let events = ref [] in
+  let on_change ~at ~was ~now = events := (at, was, now) :: !events in
+  let samples = Dcl.Online.scan ~on_change ~rng ~window:120. ~stride:60. trace in
+  let events = List.rev !events in
+  let expected =
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+          if b.Dcl.Online.conclusion <> a.Dcl.Online.conclusion then
+            (b.Dcl.Online.at, a.Dcl.Online.conclusion, b.Dcl.Online.conclusion)
+            :: pairs rest
+          else pairs rest
+      | [] | [ _ ] -> []
+    in
+    pairs samples
+  in
+  Alcotest.(check int) "one event per transition" (List.length expected)
+    (List.length events);
+  Alcotest.(check bool) "the regime change is detected" true
+    (List.length events >= 1);
+  List.iter2
+    (fun (at, was, now) (at', was', now') ->
+      Alcotest.(check (float 0.)) "timestamp" at' at;
+      Alcotest.(check bool) "was" true (was = was');
+      Alcotest.(check bool) "now" true (now = now'))
+    events expected;
+  (* Events agree with the public change-point view: [changes] lists
+     the initial conclusion plus one entry per transition. *)
+  Alcotest.(check int) "consistent with changes" (List.length events + 1)
+    (List.length (Dcl.Online.changes samples))
+
 let test_online_invalid () =
   let trace = online_trace () in
   let rng = Stats.Rng.create 1 in
@@ -550,6 +587,8 @@ let () =
         [
           Alcotest.test_case "scan shapes" `Slow test_online_scan_shapes;
           Alcotest.test_case "changes collapse" `Quick test_online_changes_collapse;
+          Alcotest.test_case "conclusion-changed events" `Slow
+            test_online_conclusion_changed_events;
           Alcotest.test_case "invalid" `Quick test_online_invalid;
           Alcotest.test_case "no float drift" `Quick test_online_scan_no_float_drift;
           Alcotest.test_case "domains deterministic" `Quick

@@ -1,0 +1,163 @@
+(* Observability layer: exact counting under concurrency, histogram
+   bucket-boundary semantics, snapshot determinism, and the
+   zero-allocation disabled path. *)
+
+let () = Stats.Pool.set_capacity 3
+
+(* --- concurrent counting ------------------------------------------------ *)
+
+(* Increments from pool workers and the caller must sum exactly: the
+   sharded cells may split the count any way between domains, but the
+   total is the number of increments, every time. *)
+let concurrent_counter_sum =
+  QCheck.Test.make ~name:"concurrent increments sum exactly" ~count:15
+    QCheck.(pair (int_range 1 3_000) (int_range 1 4))
+    (fun (n, domains) ->
+      Obs.set_enabled true;
+      let c = Obs.Counter.make "test_obs_concurrent_total" in
+      let before = Obs.Counter.value c in
+      ignore
+        (Stats.Par.map_range ~domains n (fun i ->
+             if i land 1 = 0 then Obs.Counter.incr c else Obs.Counter.add c 1));
+      Obs.Counter.value c -. before = float_of_int n)
+
+let concurrent_float_sum =
+  QCheck.Test.make ~name:"concurrent float adds sum exactly" ~count:10
+    (QCheck.int_range 1 2_000)
+    (fun n ->
+      Obs.set_enabled true;
+      let c = Obs.Counter.make "test_obs_concurrent_float_total" in
+      let before = Obs.Counter.value c in
+      (* 0.25 is exactly representable, so the CAS accumulation admits
+         no rounding and the check can be exact. *)
+      ignore
+        (Stats.Par.map_range ~domains:4 n (fun _ ->
+             Obs.Counter.add_float c 0.25));
+      Obs.Counter.value c -. before = 0.25 *. float_of_int n)
+
+(* --- histogram bucket boundaries ---------------------------------------- *)
+
+(* Reference semantics: smallest [i] with [v <= uppers.(i)], overflow
+   bucket at [Array.length uppers]. *)
+let reference_index uppers v =
+  let n = Array.length uppers in
+  let rec go i = if i >= n || v <= uppers.(i) then i else go (i + 1) in
+  go 0
+
+let hist_counter = ref 0
+
+let fresh_hist buckets =
+  incr hist_counter;
+  Obs.Histogram.make ~buckets
+    (Printf.sprintf "test_obs_hist_%d_seconds" !hist_counter)
+
+let bucket_index_matches_reference =
+  QCheck.Test.make ~name:"bucket_index matches reference" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 8) (float_range 0.001 100.))
+        (float_range (-1.) 200.))
+    (fun (raw, v) ->
+      let uppers = List.sort_uniq compare raw |> Array.of_list in
+      let h = fresh_hist uppers in
+      Obs.Histogram.bucket_index h v = reference_index uppers v)
+
+let test_bucket_boundaries () =
+  let h = fresh_hist [| 1.; 2.; 5. |] in
+  let check what v expect =
+    Alcotest.(check int) what expect (Obs.Histogram.bucket_index h v)
+  in
+  (* Upper edges are inclusive (Prometheus [le] semantics): an
+     observation exactly on a boundary lands in that bucket, the next
+     representable float above it in the next one. *)
+  check "below first" 0.5 0;
+  check "on first edge" 1. 0;
+  check "just above first edge" (Float.succ 1.) 1;
+  check "on middle edge" 2. 1;
+  check "interior" 3. 2;
+  check "on last edge" 5. 2;
+  check "overflow" 5.000001 3;
+  check "negative" (-1.) 0;
+  Obs.set_enabled true;
+  Obs.Histogram.observe h 1.;
+  Obs.Histogram.observe h (Float.succ 1.);
+  Obs.Histogram.observe h 100.;
+  Alcotest.(check int) "count" 3 (Obs.Histogram.count h);
+  let cum = Obs.Histogram.bucket_counts h in
+  Alcotest.(check int) "cumulative le=1" 1 (snd cum.(0));
+  Alcotest.(check int) "cumulative le=2" 2 (snd cum.(1));
+  Alcotest.(check int) "cumulative le=5" 2 (snd cum.(2));
+  Alcotest.(check int) "cumulative +Inf" 3 (snd cum.(3));
+  Alcotest.(check bool) "+Inf upper bound" true (fst cum.(3) = infinity)
+
+(* --- snapshot determinism ----------------------------------------------- *)
+
+let test_snapshot_determinism () =
+  Obs.set_enabled true;
+  let c = Obs.Counter.make ~help:"snapshot test" "test_obs_snap_total" in
+  Obs.Counter.add c 3;
+  let g = Obs.Gauge.make "test_obs_snap_gauge" in
+  Obs.Gauge.set g 1.5;
+  let h = fresh_hist [| 0.1; 1. |] in
+  Obs.Histogram.observe h 0.05;
+  let p1 = Obs.prometheus () in
+  let p2 = Obs.prometheus () in
+  Alcotest.(check string) "two prometheus dumps identical" p1 p2;
+  let j1 = Obs.json () in
+  let j2 = Obs.json () in
+  Alcotest.(check string) "two json dumps identical" j1 j2;
+  (* The dump carries the recorded values, not just the names. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line present" true
+    (contains p1 "test_obs_snap_total 3");
+  Alcotest.(check bool) "gauge line present" true
+    (contains p1 "test_obs_snap_gauge 1.5")
+
+(* --- disabled path ------------------------------------------------------ *)
+
+let test_disabled_span_allocates_nothing () =
+  Obs.set_enabled false;
+  let h = fresh_hist [| 0.1; 1. |] in
+  let c = Obs.Counter.make "test_obs_disabled_total" in
+  let spans = 100_000 in
+  for _ = 1 to 64 do
+    Obs.Span.stop h (Obs.Span.start ())
+  done;
+  Gc.minor ();
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to spans do
+    let t0 = Obs.Span.start () in
+    Obs.Counter.incr c;
+    Obs.Span.stop h t0
+  done;
+  let per_span = (Gc.allocated_bytes () -. a0) /. float_of_int spans in
+  (* Gc.allocated_bytes boxes its own float result, hence the sub-byte
+     slack instead of an exact zero. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "0 bytes per disabled span (measured %.4f)" per_span)
+    true (per_span < 0.01);
+  Alcotest.(check int) "nothing recorded while disabled" 0
+    (Obs.Histogram.count h);
+  Alcotest.(check (float 0.)) "counter untouched while disabled" 0.
+    (Obs.Counter.value c)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          q concurrent_counter_sum;
+          q concurrent_float_sum;
+          q bucket_index_matches_reference;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "snapshot determinism" `Quick
+            test_snapshot_determinism;
+          Alcotest.test_case "disabled span allocates nothing" `Quick
+            test_disabled_span_allocates_nothing;
+        ] );
+    ]
