@@ -7,10 +7,13 @@
    parallel run — spawn-per-call or pooled, at any domain count —
    differs bitwise from the serial winner. *)
 
+(* Monotonic wall time via the Obs clock stub: immune to NTP slews,
+   and keeps the bench inside the R1 lint contract (no wall-clock
+   reads outside lib/stats/rng.ml). *)
 let time_of f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Span.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, float_of_int (Obs.Span.now_ns () - t0) *. 1e-9)
 
 (* Gc.allocated_bytes only counts the calling domain's allocation in
    OCaml 5, so the parallel runs under-report; the serial figure is the
@@ -221,7 +224,7 @@ let () =
   end;
   let sizes = if smoke then [ 2_000 ] else [ 5_000; 20_000; 80_000 ] in
   let ns = [ 2; 4 ] in
-  let cores = Domain.recommended_domain_count () in
+  let cores = Stats.Pool.size () in
   let cases = Buffer.create 4096 in
   let first = ref true in
   let times = ref [] in

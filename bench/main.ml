@@ -73,8 +73,8 @@ let table2 scale =
       let lp = Option.value ~default:0. o.Scenarios.Paper_topology.loss_pair_estimate in
       all_strong :=
         !all_strong && result.Dcl.Identify.conclusion = Dcl.Identify.Strongly_dominant;
-      model_ok := !model_ok && abs_float (model_bound -. q_true) < 0.25 *. q_true;
-      lp_ok := !lp_ok && abs_float (lp -. q_true) < 0.25 *. q_true;
+      model_ok := !model_ok && Stats.Float_cmp.approx_eq ~eps:(0.25 *. q_true) model_bound q_true;
+      lp_ok := !lp_ok && Stats.Float_cmp.approx_eq ~eps:(0.25 *. q_true) lp q_true;
       rows :=
         [
           Printf.sprintf "%.1f Mb/s" (bw3 /. 1e6);
@@ -231,7 +231,7 @@ let fig7 scale =
   let bound = Dcl.Bound.component_bound vqd in
   printf "  component bound: %.1f ms (true Q1: %.1f ms)\n" (ms bound) (ms q_true);
   claim "Fig 7: component heuristic bound within 20% of the true Q_max"
-    (abs_float (bound -. q_true) < 0.2 *. q_true)
+    (Stats.Float_cmp.approx_eq ~eps:(0.2 *. q_true) bound q_true)
 
 (* ---------------------------------------------------------------------- *)
 (* Table IV — no dominant congested link.                                *)
@@ -432,9 +432,8 @@ let fig12 scale =
       claim "Fig 12: inferred VQD concentrates on a single low symbol"
         (sym <= 2 && mass > 0.9);
       claim "Fig 12: clock skew recovered within 3 ppm"
-        (abs_float
-           (o.Scenarios.Internet.skew_applied -. o.Scenarios.Internet.skew_estimated)
-        < 3e-6)
+        (Stats.Float_cmp.approx_eq ~eps:3e-6 o.Scenarios.Internet.skew_applied
+           o.Scenarios.Internet.skew_estimated)
 
 let fig13 scale =
   section "Fig. 13 - Internet paths to an ADSL receiver";
@@ -487,7 +486,7 @@ let fig14 scale =
   claim "Fig 14: consistency at the longest duration >= 0.75 (P unknown)"
     (last unknown >= 0.75);
   claim "Fig 14: known and unknown propagation delay give similar ratios"
-    (List.for_all2 (fun a b -> abs_float (a -. b) <= 0.25) unknown known)
+    (List.for_all2 (fun a b -> Stats.Float_cmp.approx_eq ~eps:0.25 a b) unknown known)
 
 (* ---------------------------------------------------------------------- *)
 (* pchar cross-validation — Section VI-B's consistency check.             *)
@@ -592,7 +591,7 @@ let ablation scale =
   show e4;
   (let _, f3, _ = e3 and _, f4, _ = e4 in
    claim "Ablation: thresholds 1e-3 and 1e-4 give near-identical F (paper Sec. VI-A)"
-     (abs_float (f3 -. f4) < 0.02));
+     (Stats.Float_cmp.approx_eq ~eps:0.02 f3 f4));
   subsection "WDCL tolerance sweep (weak should accept, none reject)";
   let f_for trace =
     let r = Dcl.Identify.run ~rng:(Stats.Rng.create 23) trace in
@@ -733,12 +732,12 @@ let () =
               exit 2)
         requested
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Span.now_ns () in
   List.iter
     (fun (name, f) ->
-      let t = Unix.gettimeofday () in
+      let t = Obs.Span.now_ns () in
       f scale;
-      printf "  (%s took %.1f s)\n%!" name (Unix.gettimeofday () -. t))
+      printf "  (%s took %.1f s)\n%!" name (float_of_int (Obs.Span.now_ns () - t) *. 1e-9))
     to_run;
-  printf "\ntotal: %.1f s\n" (Unix.gettimeofday () -. t0);
+  printf "\ntotal: %.1f s\n" (float_of_int (Obs.Span.now_ns () - t0) *. 1e-9);
   if not (claims_summary ()) then exit 1

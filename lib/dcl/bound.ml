@@ -4,7 +4,9 @@ let sdcl_bound vqd =
 let wdcl_bound ~beta vqd =
   if beta < 0. || beta >= 0.5 then invalid_arg "Bound.wdcl_bound: beta must be in [0, 1/2)";
   let m = Array.length vqd.Vqd.cdf in
-  let rec find j = if j >= m - 1 || Vqd.cdf_at vqd j > beta then j else find (j + 1) in
+  let rec find j =
+    if j >= m - 1 || Stats.Float_cmp.gt (Vqd.cdf_at vqd j) beta then j else find (j + 1)
+  in
   Discretize.queuing_value vqd.Vqd.scheme (find 0)
 
 let components ?(mass_threshold = 0.005) vqd =
@@ -22,7 +24,7 @@ let components ?(mass_threshold = 0.005) vqd =
     | None -> ()
   in
   for j = 0 to m - 1 do
-    if pmf.(j) > mass_threshold then begin
+    if Stats.Float_cmp.gt pmf.(j) mass_threshold then begin
       if !start = None then start := Some j;
       mass := !mass +. pmf.(j)
     end
@@ -38,7 +40,7 @@ let component_bound ?mass_threshold vqd =
       let first, _, _ =
         List.fold_left
           (fun ((_, _, best_mass) as best) ((_, _, mass) as run) ->
-            if mass > best_mass then run else best)
+            if Stats.Float_cmp.gt mass best_mass then run else best)
           (List.hd runs) (List.tl runs)
       in
       Discretize.queuing_value vqd.Vqd.scheme first

@@ -23,7 +23,7 @@ let run_test vqd ~threshold ~delay_factor =
   in
   let f = Vqd.cdf_at vqd (two_d_star - 1) in
   {
-    verdict = (if f >= threshold then Accept else Reject);
+    verdict = (if Stats.Float_cmp.geq f threshold then Accept else Reject);
     d_star;
     two_d_star;
     f_at_two_d_star = f;

@@ -57,8 +57,10 @@ let m_last_ll =
    from racing restart domains; it must be thread-safe. *)
 let iteration_trace :
     (iteration:int -> log_likelihood:float -> unit) option Atomic.t =
+  (* lint: allow R2 lock-free hook cell read by racing restart domains *)
   Atomic.make None
 
+(* lint: allow R2 installing the trace hook must be visible to all domains *)
 let set_iteration_trace h = Atomic.set iteration_trace h
 
 (* Floors applied by the M-step so no re-estimated emission or
@@ -225,6 +227,7 @@ let prepare ws (t : model) =
     done
   done
 
+(* lint: hot *)
 (* One forward step over the active sets.  A class [r] addresses both
    its emission row and its active-state row at offset [r * s], so one
    [base] serves both tables and there is no per-kind dispatch.  Writes
@@ -351,6 +354,7 @@ let backward ws (t : model) tt =
       Array.unsafe_set beta (row + st) !acc
     done
   done
+(* lint: end-hot *)
 
 let check_obs name obs = if Array.length obs = 0 then invalid_arg (name ^ ": empty observation sequence")
 
@@ -441,6 +445,7 @@ let em_step ~ws ~update_b (t : model) obs =
   Array.fill gamma_sum 0 s 0.;
   Array.fill count_obs 0 (s * m) 0.;
   Array.fill count_loss 0 (s * m) 0.;
+  (* lint: hot *)
   (* Transition statistics over active pairs. *)
   for time = 0 to tt - 2 do
     let r = Array.unsafe_get cls time and r1 = Array.unsafe_get cls (time + 1) in
@@ -491,6 +496,7 @@ let em_step ~ws ~update_b (t : model) obs =
       done
     end
   done;
+  (* lint: end-hot *)
   (* M-step.  gamma 0 sums to 1 only up to rounding; renormalize. *)
   let pi' = Array.make s 0. in
   let r0 = cls.(0) in
@@ -562,6 +568,7 @@ let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
     let t0_ns = Obs.Span.start () in
     let t' = em_step ~ws ~update_b t obs in
     Obs.Span.stop m_sweep t0_ns;
+    (* lint: allow R2 lock-free read of the shared trace hook *)
     (match Atomic.get iteration_trace with
     | None -> ()
     | Some hook ->
@@ -591,8 +598,8 @@ let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
    Because the domains behind Stats.Pool persist for the process
    lifetime, these workspaces stay warm across pool jobs: back-to-back
    parallel fits allocate nothing for their sweep buffers. *)
-let domain_ws_key = Domain.DLS.new_key workspace
-let domain_ws () = Domain.DLS.get domain_ws_key
+let domain_ws_key = Domain.DLS.new_key workspace (* lint: allow R2 DLS keeps one warm workspace per pool domain *)
+let domain_ws () = Domain.DLS.get domain_ws_key (* lint: allow R2 DLS lookup of the per-domain workspace *)
 
 let fit_restarts ?eps ?max_iter ?(domains = 1) ~restarts ~update_b ~init obs =
   if restarts <= 0 then invalid_arg "Em.fit_restarts: restarts must be positive";

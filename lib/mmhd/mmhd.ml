@@ -113,7 +113,9 @@ let init_informed rng ~n ~m obs =
 
 let validate t =
   let s = states t in
-  let stochastic_vec v = abs_float (Array.fold_left ( +. ) 0. v -. 1.) <= 1e-6 in
+  let stochastic_vec v =
+    Stats.Float_cmp.approx_eq ~eps:1e-6 (Array.fold_left ( +. ) 0. v) 1.
+  in
   let is_prob_vector v = Array.for_all (fun p -> p >= 0. && p <= 1.) v in
   if Array.length t.pi <> s || not (stochastic_vec t.pi) || not (is_prob_vector t.pi)
   then invalid_arg "Mmhd.validate: pi is not a distribution over n*m states";

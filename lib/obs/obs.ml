@@ -230,6 +230,7 @@ let sorted_metrics () =
 (* %.17g-style shortest-exact is overkill here; %g is stable for equal
    inputs, which is all snapshot determinism needs. *)
 let fmt_float x =
+  (* lint: allow R3 magnitude guard for %.0f formatting, not an equality tolerance *)
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%g" x
 
@@ -278,7 +279,7 @@ let prometheus () =
       | Khistogram h ->
           Array.iter
             (fun (upper, cum) ->
-              let le = if upper = infinity then "+Inf" else fmt_float upper in
+              let le = if Float.is_finite upper then fmt_float upper else "+Inf" in
               Buffer.add_string buf
                 (Printf.sprintf "%s_bucket%s %d\n" m.name
                    (render_labels_extra m.labels [ ("le", le) ])
@@ -327,7 +328,7 @@ let json () =
             Array.to_list (Histogram.bucket_counts h)
             |> List.map (fun (upper, cum) ->
                    Printf.sprintf "{\"le\":%s,\"count\":%d}"
-                     (if upper = infinity then "\"+Inf\"" else fmt_float upper)
+                     (if Float.is_finite upper then fmt_float upper else "\"+Inf\"")
                      cum)
             |> String.concat ","
           in
@@ -342,6 +343,7 @@ let json () =
     (Buffer.contents counters) (Buffer.contents gauges) (Buffer.contents hists)
 
 let write dest =
+  (* lint: allow R4 dest = "-" is the caller explicitly requesting a stdout dump *)
   if dest = "-" then print_string (prometheus ())
   else begin
     let oc = open_out dest in

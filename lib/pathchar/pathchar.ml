@@ -20,7 +20,7 @@ let fit_min_line points =
       let sxx = List.fold_left (fun a (s, _) -> a +. (float_of_int s *. float_of_int s)) 0. points in
       let sxy = List.fold_left (fun a (s, r) -> a +. (float_of_int s *. r)) 0. points in
       let denom = (n *. sxx) -. (sx *. sx) in
-      if abs_float denom < 1e-9 then None
+      if Stats.Float_cmp.is_zero ~eps:1e-9 denom then None
       else
         let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
         let intercept = (sy -. (slope *. sx)) /. n in
@@ -166,7 +166,7 @@ let run ?(sizes = default_sizes) ?(probes_per_size = 16) ?(interval = 0.03) net 
           Sim.at sim at (fun () ->
               Hashtbl.replace c.sent seq (Sim.now sim);
               Net.inject net
-                (Packet.make ~id:(Sim.fresh_packet_id sim) ~flow:c.flow ~src ~dst:c.dst
+                (Packet.make ~id:(Sim.fresh_packet_id sim) ~flow:c.flow ~src:c.src ~dst:c.dst
                    ~size ~kind:Packet.Udp ~seq ~sent_at:(Sim.now sim) ~ttl:hop ()))
         done)
       c.sizes

@@ -71,6 +71,7 @@ let start t ~at ~until =
     end
   done
 
+let base_delay t = t.base_delay
 let pairs_sent t = t.pairs_sent
 let loss_pairs t = t.loss_pairs
 let both_lost t = t.both_lost

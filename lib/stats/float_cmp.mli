@@ -1,0 +1,40 @@
+(** The one sanctioned home for float comparison semantics.
+
+    The SDCL/WDCL hypothesis tests compare an estimated CDF value
+    [F] at twice the [d_star] quantile against a threshold derived
+    from Theorems 1-2; the [d_star] walk and the [Q_max] bounds sit on
+    the same kind of boundary.  An accidental exact [=] (or a hand-rolled
+    [abs_float (a -. b) < eps] with a locally invented [eps]) at any of
+    those sites silently changes the paper's accept/reject conclusions,
+    so [dcl-lint] rule R3 forbids both everywhere except this module,
+    and every boundary-sensitive comparison routes through here.
+
+    All predicates are [false] when either operand is NaN (including
+    [approx_eq nan nan]), matching IEEE comparison semantics. *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq a b] is [abs_float (a -. b) <= eps] (default
+    [eps = 1e-9]).  [eps = 0.] gives exact equality with NaN-safe
+    semantics. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [approx_eq x 0.]: near-zero guard for denominators. *)
+
+val equal_ulp : ?ulps:int -> float -> float -> bool
+(** Equality up to [ulps] units in the last place (default 4), via the
+    monotone bit-pattern ordering of IEEE doubles.  Scale-free
+    alternative to [approx_eq] when the magnitudes are unknown. *)
+
+val compare_eps : ?eps:float -> float -> float -> int
+(** Three-way comparison that treats values within [eps] (default 0)
+    as equal: [-1], [0] or [1]. *)
+
+(** Threshold comparisons.  [slack] (default [0.]) widens acceptance:
+    [geq ~slack a b] holds when [a >= b -. slack].  With the default
+    slack these are exactly [>=] / [>] / [<=] / [<] — the point is the
+    single audited call site, not a hidden tolerance. *)
+
+val geq : ?slack:float -> float -> float -> bool
+val gt : ?slack:float -> float -> float -> bool
+val leq : ?slack:float -> float -> float -> bool
+val lt : ?slack:float -> float -> float -> bool

@@ -57,7 +57,7 @@ let cdf_of_pmf p =
     acc := !acc +. p.(i);
     c.(i) <- !acc
   done;
-  if n > 0 && abs_float (c.(n - 1) -. 1.) < 1e-9 then c.(n - 1) <- 1.;
+  if n > 0 && Float_cmp.approx_eq ~eps:1e-9 c.(n - 1) 1. then c.(n - 1) <- 1.;
   c
 
 let normalize v =

@@ -47,5 +47,5 @@ let is_stochastic ?(eps = 1e-6) m =
   Array.for_all
     (fun row ->
       Array.for_all (fun x -> x >= 0.) row
-      && abs_float (Array.fold_left ( +. ) 0. row -. 1.) <= eps)
+      && Float_cmp.approx_eq ~eps (Array.fold_left ( +. ) 0. row) 1.)
     m

@@ -96,7 +96,9 @@ let worker_count () = !spawned
    path on small machines). *)
 let capacity_override = ref None
 let capacity () = match !capacity_override with Some c -> c | None -> size () - 1
-let set_capacity c = capacity_override := Some (max 0 c)
+let set_capacity c =
+  if c <= 0 then invalid_arg "Pool.set_capacity: capacity must be positive";
+  capacity_override := Some c
 
 (* Pull and evaluate chunks of [j] until none are left.  Called (by
    workers and the submitting caller alike) with [mutex] held; returns

@@ -42,8 +42,15 @@ val worker_count : unit -> int
     first multi-participant submission, then stable — the pool never
     respawns). *)
 
+val capacity : unit -> int
+(** Current worker cap: the [set_capacity] override when one is in
+    force, [size () - 1] otherwise. *)
+
 val set_capacity : int -> unit
-(** Override the worker cap (default [size () - 1]).  Raising it above
+(** Override the worker cap (default [size () - 1]).  Raises
+    [Invalid_argument] unless the new cap is positive: a zero or
+    negative override would silently serialize every job, which is
+    indistinguishable from a passing concurrency test.  Raising it above
     the machine size oversubscribes cores — useful for exercising the
     concurrent path in tests and benches on small machines, a
     pessimization otherwise.  Lowering it does not retire workers

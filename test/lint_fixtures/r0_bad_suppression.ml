@@ -1,0 +1,3 @@
+(* lint-fixture: bin/fixtures/r0.ml *)
+(* lint: allow R3 *) (* expect: R0 *)
+let at_one x = x = 1.0 (* expect: R3 *)

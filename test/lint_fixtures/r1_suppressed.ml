@@ -1,0 +1,3 @@
+(* lint-fixture: bin/fixtures/r1s.ml *)
+(* lint: allow R1 fixture exercises the suppression path, not real entropy *)
+let draw () = Random.float 1.0

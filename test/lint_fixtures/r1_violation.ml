@@ -1,0 +1,2 @@
+(* lint-fixture: bin/fixtures/r1.ml *)
+let draw () = Random.float 1.0 (* expect: R1 *)

@@ -1,0 +1,3 @@
+(* lint-fixture: bin/fixtures/r2s.ml *)
+(* lint: allow R2 fixture exercises the suppression path, not real parallelism *)
+let pause () = Domain.cpu_relax ()

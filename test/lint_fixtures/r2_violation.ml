@@ -1,0 +1,2 @@
+(* lint-fixture: bin/fixtures/r2.ml *)
+let pause () = Domain.cpu_relax () (* expect: R2 *)

@@ -1,0 +1,3 @@
+(* lint-fixture: bin/fixtures/r3s.ml *)
+(* lint: allow R3 fixture exercises the suppression path, not a real tolerance *)
+let at_one x = x = 1.0

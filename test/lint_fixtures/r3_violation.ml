@@ -1,0 +1,4 @@
+(* lint-fixture: bin/fixtures/r3.ml *)
+let at_one x = x = 1.0 (* expect: R3 *)
+
+let close a b = abs_float (a -. b) < 1e-9 (* expect: R3 *)

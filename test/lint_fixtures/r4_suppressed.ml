@@ -1,0 +1,3 @@
+(* lint-fixture: lib/fixtures/r4s.ml *)
+(* lint: allow R4 fixture exercises the suppression path, not real stdout *)
+let greet () = print_endline "hello"

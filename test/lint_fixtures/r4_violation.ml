@@ -1,0 +1,2 @@
+(* lint-fixture: lib/fixtures/r4.ml *)
+let greet () = print_endline "hello" (* expect: R4 *)

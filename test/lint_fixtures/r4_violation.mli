@@ -1,0 +1,2 @@
+(* Disk sibling so the R4 fixture does not also trip R6/missing-mli. *)
+val greet : unit -> unit

@@ -1,0 +1,7 @@
+(* lint-fixture: bin/fixtures/r5s.ml *)
+let double xs =
+  (* lint: hot *)
+  (* lint: allow R5 fixture exercises the suppression path, not a real hot loop *)
+  let ys = List.map (fun x -> x * 2) xs in
+  (* lint: end-hot *)
+  ys

@@ -1,0 +1,6 @@
+(* lint-fixture: bin/fixtures/r5.ml *)
+let double xs =
+  (* lint: hot *)
+  let ys = List.map (fun x -> x * 2) xs in (* expect: R5 *)
+  (* lint: end-hot *)
+  ys

@@ -1,0 +1,2 @@
+(* lint-fixture: lib/fixtures/r6s.ml *) (* lint: allow R6 fixture stands in for a module whose interface is its implementation *)
+let answer = 42

@@ -1,0 +1,2 @@
+(* lint-fixture: lib/fixtures/r6.ml *) (* expect: R6 *)
+let answer = 42

@@ -184,7 +184,7 @@ let prop_histogram_values_increasing =
       Stats.Histogram.value_of h j < Stats.Histogram.value_of h (j + 1))
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_wdcl_bound_is_least_symbol_above_beta;
       prop_run_test_matches_reference;

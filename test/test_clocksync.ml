@@ -105,7 +105,7 @@ let prop_line_below_cloud =
         (fun t d -> d >= intercept +. (slope *. t) -. 1e-9)
         times delays)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_line_below_cloud ]
+let qcheck_cases = List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_line_below_cloud ]
 
 let () =
   Alcotest.run "clocksync"

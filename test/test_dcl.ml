@@ -427,7 +427,7 @@ let prop_component_bound_dominated_by_range =
       b > 0. && b <= Dcl.Discretize.queuing_value v.Dcl.Vqd.scheme 4 +. 1e-9)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_wdcl_monotone_in_beta;
       prop_sdcl_implies_wdcl;

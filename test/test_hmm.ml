@@ -218,7 +218,7 @@ let prop_likelihood_matches_brute_force =
       let bf = log (brute_force_likelihood model obs) in
       abs_float (ll -. bf) < 1e-8)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_likelihood_matches_brute_force ]
+let qcheck_cases = List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_likelihood_matches_brute_force ]
 
 let () =
   Alcotest.run "hmm"

@@ -1,0 +1,142 @@
+(* Unit tests for the dcl-lint contract checker: each rule fires on a
+   minimal source at the exact (line, rule) position, suppression and
+   its failure modes behave as documented, and the CLI honours its
+   exit-code contract.  The end-end fixture corpus under
+   [lint_fixtures/] is exercised both through [--fixtures] here and by
+   [dune build @lint]. *)
+
+let pairs diags = List.map (fun d -> Dcl_lint.(d.d_line, d.d_rule)) diags
+
+let lint ?(path = "bin/fixture/under_test.ml") ?(mli_exists = true) src =
+  pairs (Dcl_lint.lint_source ~mli_exists ~path src)
+
+let check_diags name expected actual =
+  Alcotest.(check (list (pair int string))) name expected actual
+
+(* --- rule firing positions -------------------------------------------- *)
+
+let test_r1_rng () =
+  check_diags "Random use outside rng.ml"
+    [ (2, "R1") ]
+    (lint ~path:"lib/hmm/hmm.ml" "let x = 1\nlet y () = Random.int 7\n");
+  check_diags "wall-clock seeding" [ (1, "R1") ]
+    (lint ~path:"bench/bench_em.ml" "let t0 = Unix.gettimeofday ()\n");
+  check_diags "sanctioned in rng.ml" []
+    (lint ~path:"lib/stats/rng.ml" "let y () = Random.int 7\n")
+
+let test_r2_concurrency () =
+  check_diags "Atomic outside the sanctioned homes"
+    [ (1, "R2") ]
+    (lint ~path:"lib/dcl/dcl.ml" "let c = Atomic.make 0\n");
+  check_diags "sanctioned in pool.ml" []
+    (lint ~path:"lib/stats/pool.ml" "let c = Atomic.make 0\n");
+  check_diags "sanctioned under lib/obs/" []
+    (lint ~path:"lib/obs/obs.ml" "let c = Atomic.make 0\n")
+
+let test_r3_float_cmp () =
+  check_diags "= against a float literal" [ (1, "R3") ]
+    (lint "let f x = x = 1.0\n");
+  check_diags "<> with float arithmetic operand" [ (1, "R3") ]
+    (lint "let f a b = (a +. b) <> 0.5\n");
+  check_diags "polymorphic compare on floats" [ (1, "R3") ]
+    (lint "let f x = compare x 1.0\n");
+  check_diags "hand-rolled abs_float epsilon" [ (1, "R3") ]
+    (lint "let f a b = abs_float (a -. b) < 1e-9\n");
+  check_diags "int equality untouched" [] (lint "let f x = x = 1\n");
+  check_diags "sanctioned in float_cmp.ml" []
+    (lint ~path:"lib/stats/float_cmp.ml" "let f x = x = 1.0\n")
+
+let test_r4_io () =
+  check_diags "print_endline in lib/" [ (1, "R4") ]
+    (lint ~path:"lib/dcl/dcl.ml" "let f () = print_endline \"x\"\n");
+  check_diags "exit in lib/" [ (1, "R4") ]
+    (lint ~path:"lib/dcl/dcl.ml" "let f () = exit 1\n");
+  check_diags "binaries may print" []
+    (lint ~path:"bin/dcl_cli.ml" "let f () = print_endline \"x\"\n")
+
+let test_r5_hot_alloc () =
+  let src =
+    "let f xs =\n\
+     \  (* lint: hot *)\n\
+     \  let y = List.length xs in\n\
+     \  (* lint: end-hot *)\n\
+     \  let z = List.length xs in\n\
+     \  y + z\n"
+  in
+  check_diags "allocating combinator only inside the fence" [ (3, "R5") ] (lint src);
+  check_diags "list cons inside the fence" [ (2, "R5") ]
+    (lint "let f x =\n  (* lint: hot *) x :: []\n(* lint: end-hot *)\n");
+  check_diags "array accessors stay allowed" []
+    (lint "let f (a : float array) =\n  (* lint: hot *)\n  Array.get a 0\n(* lint: end-hot *)\n")
+
+let test_r6_mli () =
+  check_diags "bare lib module" [ (1, "R6") ]
+    (lint ~path:"lib/dcl/dcl.ml" ~mli_exists:false "let x = 1\n");
+  check_diags "mli present" [] (lint ~path:"lib/dcl/dcl.ml" ~mli_exists:true "let x = 1\n");
+  check_diags "bin modules exempt" []
+    (lint ~path:"bin/dcl_cli.ml" ~mli_exists:false "let x = 1\n")
+
+(* --- suppression ------------------------------------------------------ *)
+
+let test_allow_scope () =
+  check_diags "allow covers the next line" []
+    (lint "(* lint: allow R3 test reason *)\nlet f x = x = 1.0\n");
+  check_diags "allow covers its own line" []
+    (lint "let f x = x = 1.0 (* lint: allow R3 test reason *)\n");
+  check_diags "allow does not reach two lines down" [ (3, "R3") ]
+    (lint "(* lint: allow R3 test reason *)\nlet g x = x + 1\nlet f x = x = 1.0\n");
+  check_diags "allow is rule-specific" [ (2, "R3") ]
+    (lint "(* lint: allow R1 test reason *)\nlet f x = x = 1.0\n")
+
+let test_bad_directives () =
+  check_diags "allow without a reason is R0, and does not suppress"
+    [ (1, "R0"); (2, "R3") ]
+    (lint "(* lint: allow R3 *)\nlet f x = x = 1.0\n");
+  check_diags "unknown rule id" [ (1, "R0") ] (lint "(* lint: allow R9 reason *)\n");
+  check_diags "unclosed hot fence" [ (1, "R0") ] (lint "(* lint: hot *)\nlet x = 1\n");
+  check_diags "R0 cannot be suppressed" [ (1, "R0"); (2, "R0") ]
+    (lint "(* lint: allow R0 reason *)\n(* lint: allow R3 *)\n")
+
+(* --- CLI exit codes --------------------------------------------------- *)
+
+let test_cli_exit_codes () =
+  Alcotest.(check int) "--version exits 0" 0 (Dcl_lint.Cli.run [ "--version" ]);
+  Alcotest.(check int) "--help exits 0" 0 (Dcl_lint.Cli.run [ "--help" ]);
+  Alcotest.(check int) "unknown option exits 2" 2 (Dcl_lint.Cli.run [ "--frobnicate" ]);
+  Alcotest.(check int) "no paths exits 2" 2 (Dcl_lint.Cli.run []);
+  Alcotest.(check int) "missing path exits 2" 2 (Dcl_lint.Cli.run [ "no/such/dir" ])
+
+let test_cli_fixture_corpus () =
+  (* The corpus is a dune dep of this test, so it is staged next to the
+     executable.  As a self-test every fixture must match its
+     expectations; linted as ordinary sources the violation fixtures
+     must drive the exit code to 1. *)
+  let corpus = Filename.concat (Filename.dirname Sys.executable_name) "lint_fixtures" in
+  Alcotest.(check int) "--fixtures corpus is green" 0
+    (Dcl_lint.Cli.run [ "--fixtures"; corpus ]);
+  Alcotest.(check int) "violation fixtures fail a plain lint" 1
+    (Dcl_lint.Cli.run [ "--json"; corpus ])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 rng containment" `Quick test_r1_rng;
+          Alcotest.test_case "R2 concurrency containment" `Quick test_r2_concurrency;
+          Alcotest.test_case "R3 float comparison" `Quick test_r3_float_cmp;
+          Alcotest.test_case "R4 io containment" `Quick test_r4_io;
+          Alcotest.test_case "R5 hot-region allocation" `Quick test_r5_hot_alloc;
+          Alcotest.test_case "R6 missing mli" `Quick test_r6_mli;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "allow scope" `Quick test_allow_scope;
+          Alcotest.test_case "bad directives" `Quick test_bad_directives;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "exit codes" `Quick test_cli_exit_codes;
+          Alcotest.test_case "fixture corpus" `Quick test_cli_fixture_corpus;
+        ] );
+    ]

@@ -238,7 +238,7 @@ let prop_virtual_pmf_normalized =
       && Array.for_all (fun p -> p >= 0.) pmf)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [ prop_likelihood_matches_brute_force; prop_virtual_pmf_normalized ]
 
 let () =

@@ -399,7 +399,7 @@ let test_net_conservation_under_load () =
   let dropped = Array.fold_left (fun acc l -> acc + Link.drops l) 0 links in
   Alcotest.(check int) "sent = received + dropped" sent (!received + dropped)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_eventq_sorted ]
+let qcheck_cases = List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_eventq_sorted ]
 
 let () =
   Alcotest.run "netsim"

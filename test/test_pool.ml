@@ -120,6 +120,18 @@ let test_nested_map_range_runs_inline () =
     (Array.init 8 (fun i -> (5 * i) + 10))
     outer
 
+let test_set_capacity_rejects_nonpositive () =
+  let reject c =
+    Alcotest.check_raises
+      (Printf.sprintf "set_capacity %d" c)
+      (Invalid_argument "Pool.set_capacity: capacity must be positive")
+      (fun () -> Stats.Pool.set_capacity c)
+  in
+  reject 0;
+  reject (-1);
+  (* The override in force since startup must survive the rejected calls. *)
+  Alcotest.(check int) "capacity unchanged" 3 (Stats.Pool.capacity ())
+
 let () =
   Alcotest.run "pool"
     [
@@ -143,5 +155,10 @@ let () =
             test_warm_workspaces_not_contaminated;
           Alcotest.test_case "nested map_range runs inline" `Quick
             test_nested_map_range_runs_inline;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "set_capacity rejects non-positive" `Quick
+            test_set_capacity_rejects_nonpositive;
         ] );
     ]

@@ -289,7 +289,7 @@ let test_losspair_no_losses () =
   Alcotest.(check (option (float 0.))) "no estimate" None
     (Probe.Losspair.estimate_max_queuing_delay lp)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_trace_roundtrip ]
+let qcheck_cases = List.map (fun t -> QCheck_alcotest.to_alcotest t) [ prop_trace_roundtrip ]
 
 let () =
   Alcotest.run "probe"

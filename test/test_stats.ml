@@ -312,7 +312,7 @@ let prop_histogram_index_in_range =
       j >= 0 && j < m)
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [ prop_cdf_monotone; prop_tv_bounds; prop_quantile_in_range; prop_histogram_index_in_range ]
 
 let () =

@@ -1,0 +1,729 @@
+(* dcl-lint: AST-level contract checker for the determinism and
+   domain-safety invariants of this repository.
+
+   The reproduction's headline guarantees — bit-identical EM results
+   serial vs parallel, and a zero-allocation disabled observability
+   path — are structural properties of the source, so they are checked
+   structurally: every [lib/], [bin/] and [bench/] implementation is
+   parsed with compiler-libs and walked with [Ast_iterator], and each
+   rule reports a diagnostic (file:line:col, rule id, message) when a
+   forbidden construct appears outside its sanctioned home.
+
+   Rules (short id / long id):
+
+   - R1 [rng-containment]     [Random.*] and [Unix.gettimeofday]-style
+                              wall-clock seeding only in
+                              [lib/stats/rng.ml].  All randomness must
+                              flow through the pre-split [Stats.Rng]
+                              streams, or per-restart/per-replicate
+                              determinism silently dies.
+   - R2 [domain-containment]  [Domain.*], [Mutex.*], [Condition.*],
+                              [Atomic.*] only in [lib/stats/pool.ml],
+                              [lib/stats/par.ml] and [lib/obs/].
+   - R3 [float-cmp]           no [=] / [<>] / [compare] on float-typed
+                              operands (syntactic float literals,
+                              float-returning applications, registered
+                              float idents), and no hand-rolled
+                              [abs_float (a -. b) < eps] tests; route
+                              through [Stats.Float_cmp].
+   - R4 [io-containment]      no [exit] / [Printf.printf] /
+                              [prerr_endline] and friends in [lib/]:
+                              binaries own process control and stdout.
+   - R5 [hot-alloc]           inside [(* lint: hot *)] ...
+                              [(* lint: end-hot *)] fences, no
+                              closure-allocating combinators
+                              ([List.*], [Array.map]/[init]/..., any
+                              [Printf.*]/[Format.*]) and no list-cons
+                              allocation.
+   - R6 [missing-mli]         every [lib/] module ships an interface.
+
+   Any diagnostic can be suppressed for its own line or the next line
+   with [(* lint: allow RULE reason *)]; the reason is mandatory and a
+   bare allow is itself a diagnostic (R0 [bad-lint-comment]). *)
+
+type diag = {
+  d_file : string;
+  d_line : int;
+  d_col : int;
+  d_rule : string; (* short id, e.g. "R3" *)
+  d_id : string; (* long id, e.g. "float-cmp" *)
+  d_message : string;
+}
+
+let rules =
+  [
+    ("R0", "bad-lint-comment");
+    ("R1", "rng-containment");
+    ("R2", "domain-containment");
+    ("R3", "float-cmp");
+    ("R4", "io-containment");
+    ("R5", "hot-alloc");
+    ("R6", "missing-mli");
+  ]
+
+let long_id short = try List.assoc short rules with Not_found -> short
+
+(* Accept either the short or the long spelling of a rule id. *)
+let normalize_rule s =
+  let s = String.lowercase_ascii s in
+  let matches (short, long) =
+    String.lowercase_ascii short = s || String.lowercase_ascii long = s
+  in
+  match List.find_opt matches rules with
+  | Some (short, _) -> Some short
+  | None -> None
+
+let mk ~file ~line ~col ~rule message =
+  { d_file = file; d_line = line; d_col = col; d_rule = rule; d_id = long_id rule; d_message = message }
+
+(* ------------------------------------------------------------------ *)
+(* Comment scanning.  The parser drops comments, and both the
+   suppression grammar and the hot fences live in comments, so a small
+   lexical pass recovers them: it tracks string literals, char literals
+   and nested comments well enough for this codebase's surface
+   syntax. *)
+
+type comment = { c_line : int; c_text : string }
+
+let scan_comments src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let buf = Buffer.create 64 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      Buffer.clear buf;
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if src.[!i] = '\n' then begin
+          incr line;
+          Buffer.add_char buf '\n';
+          incr i
+        end
+        else if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      out := { c_line = start_line; c_text = Buffer.contents buf } :: !out
+    end
+    else if c = '"' then begin
+      (* String literal: skip to the unescaped closing quote. *)
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        match src.[!i] with
+        | '\\' -> i := !i + 2
+        | '"' ->
+            fin := true;
+            incr i
+        | '\n' ->
+            incr line;
+            incr i
+        | _ -> incr i
+      done
+    end
+    else if c = '\'' then
+      (* Char literal ['x'] or ['\n']; anything else (a type variable)
+         is just a quote. *)
+      if !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then i := !i + 3
+      else if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && !j <= !i + 5 && src.[!j] <> '\'' do
+          incr j
+        done;
+        if !j < n && src.[!j] = '\'' then i := !j + 1 else incr i
+      end
+      else incr i
+    else incr i
+  done;
+  List.rev !out
+
+type directive =
+  | Allow of { a_rule : string; a_line : int }
+  | Hot_start of int
+  | Hot_end of int
+  | Expect of { e_rule : string; e_line : int }
+  | Fixture_path of string
+  | Malformed of { m_line : int; m_message : string }
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_prefix ~prefix s =
+  if String.length s >= String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let parse_directive { c_line; c_text } =
+  let t = String.trim c_text in
+  match strip_prefix ~prefix:"lint:" t with
+  | Some rest -> (
+      match split_words rest with
+      | [ "hot" ] -> Some (Hot_start c_line)
+      | [ "end-hot" ] -> Some (Hot_end c_line)
+      | "allow" :: rule :: _ :: _ -> (
+          match normalize_rule rule with
+          | Some "R0" | None ->
+              Some (Malformed { m_line = c_line; m_message = "unknown rule in allow: " ^ rule })
+          | Some r -> Some (Allow { a_rule = r; a_line = c_line }))
+      | [ "allow"; rule ] ->
+          Some
+            (Malformed
+               { m_line = c_line; m_message = "allow " ^ rule ^ " needs a reason" })
+      | [ "allow" ] ->
+          Some (Malformed { m_line = c_line; m_message = "allow needs a rule and a reason" })
+      | _ ->
+          Some (Malformed { m_line = c_line; m_message = "unrecognized lint directive: " ^ rest }))
+  | None -> (
+      match strip_prefix ~prefix:"expect:" t with
+      | Some rest -> (
+          match split_words rest with
+          | [ rule ] -> (
+              match normalize_rule rule with
+              | Some r -> Some (Expect { e_rule = r; e_line = c_line })
+              | None ->
+                  Some
+                    (Malformed { m_line = c_line; m_message = "unknown rule in expect: " ^ rule }))
+          | _ -> Some (Malformed { m_line = c_line; m_message = "expect takes one rule id" }))
+      | None -> (
+          match strip_prefix ~prefix:"lint-fixture:" t with
+          | Some rest -> Some (Fixture_path (String.trim rest))
+          | None -> None))
+
+(* Fold the fence directives into inclusive line ranges; unmatched
+   fences are diagnostics, not crashes. *)
+let hot_ranges ~file directives =
+  let ranges = ref [] in
+  let bad = ref [] in
+  let open_start = ref None in
+  List.iter
+    (fun d ->
+      match d with
+      | Hot_start l -> (
+          match !open_start with
+          | None -> open_start := Some l
+          | Some _ ->
+              bad := mk ~file ~line:l ~col:0 ~rule:"R0" "nested (* lint: hot *) fence" :: !bad)
+      | Hot_end l -> (
+          match !open_start with
+          | Some s ->
+              ranges := (s, l) :: !ranges;
+              open_start := None
+          | None ->
+              bad :=
+                mk ~file ~line:l ~col:0 ~rule:"R0" "(* lint: end-hot *) without an open fence"
+                :: !bad)
+      | _ -> ())
+    directives;
+  (match !open_start with
+  | Some s ->
+      bad := mk ~file ~line:s ~col:0 ~rule:"R0" "unclosed (* lint: hot *) fence" :: !bad
+  | None -> ());
+  (List.rev !ranges, List.rev !bad)
+
+(* ------------------------------------------------------------------ *)
+(* Path classification.  Files are judged by where they sit in the
+   repository ([lib/] vs [bin/] vs [bench/]); fixture files declare a
+   virtual location with [(* lint-fixture: lib/... *)] so every rule
+   can be exercised from [test/lint_fixtures/]. *)
+
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+(* The repo-relative path: the suffix starting at the last [lib], [bin]
+   or [bench] segment, so absolute paths classify the same way. *)
+let rel_path path =
+  let segs = segments path in
+  let rec last_root acc rev =
+    match rev with
+    | [] -> None
+    | s :: _ when s = "lib" || s = "bin" || s = "bench" -> Some (s :: acc)
+    | s :: tl -> last_root (s :: acc) tl
+  in
+  match last_root [] (List.rev segs) with
+  | Some suffix -> String.concat "/" suffix
+  | None -> String.concat "/" segs
+
+let in_lib rel = match segments rel with "lib" :: _ -> true | _ -> false
+
+let rng_home rel = rel = "lib/stats/rng.ml"
+let float_cmp_home rel = rel = "lib/stats/float_cmp.ml"
+
+let concurrency_home rel =
+  match rel with
+  | "lib/stats/pool.ml" | "lib/stats/par.ml" -> true
+  | _ -> ( match segments rel with "lib" :: "obs" :: _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* AST rules. *)
+
+let ident_name lid = try String.concat "." (Longident.flatten lid) with _ -> ""
+
+let strip_stdlib name =
+  match strip_prefix ~prefix:"Stdlib." name with Some r -> r | None -> name
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* R1: references that reach for ambient randomness or wall-clock
+   seeding.  [Random] covers the whole stdlib module; the [Unix] names
+   are the classic seed sources. *)
+let rng_banned name =
+  has_prefix ~prefix:"Random." name
+  || name = "Random"
+  || name = "Unix.gettimeofday"
+  || name = "Unix.time"
+
+(* R2: multicore primitives. *)
+let concurrency_banned name =
+  List.exists
+    (fun p -> has_prefix ~prefix:p name)
+    [ "Domain."; "Mutex."; "Condition."; "Atomic." ]
+
+(* R4: process control and stdout/stderr from library code. *)
+let io_banned name =
+  List.mem name
+    [
+      "exit";
+      "print_string";
+      "print_endline";
+      "print_newline";
+      "print_int";
+      "print_float";
+      "print_char";
+      "prerr_endline";
+      "prerr_string";
+      "prerr_newline";
+      "Printf.printf";
+      "Printf.eprintf";
+      "Format.printf";
+      "Format.eprintf";
+    ]
+
+(* R5: combinators whose call (or partial application) allocates a
+   closure or a fresh structure.  Array accessors that compile to loads
+   and stores are whitelisted; everything else in [Array], all of
+   [List], and any formatting is banned inside a hot fence. *)
+let array_access_whitelist =
+  [ "get"; "set"; "unsafe_get"; "unsafe_set"; "length"; "blit"; "fill"; "unsafe_blit"; "unsafe_fill" ]
+
+let allocating name =
+  match String.index_opt name '.' with
+  | Some i -> (
+      let m = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      match m with
+      | "List" | "Printf" | "Format" -> true
+      | "Array" -> not (List.mem rest array_access_whitelist)
+      | _ -> false)
+  | None -> name = "@" || name = "^"
+
+(* R3: syntactic float-ness.  This is an approximation — the linter has
+   no typer — but it is the approximation the contract asks for: float
+   literals, float arithmetic, float-returning stdlib calls, and a
+   registry of idents that are floats by project convention. *)
+let float_arith = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let float_returning =
+  [
+    "float_of_int";
+    "float_of_string";
+    "abs_float";
+    "sqrt";
+    "log";
+    "log10";
+    "exp";
+    "ceil";
+    "floor";
+    "mod_float";
+    "atan";
+    "atan2";
+    "cos";
+    "sin";
+    "tan";
+    "min_float";
+    "max_float";
+  ]
+
+let float_consts = [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+(* Project registry: idents that are floats wherever they appear in
+   this codebase (quantile/threshold machinery of Theorems 1-2). *)
+let known_float_idents =
+  [ "threshold"; "tolerance"; "eps"; "log_likelihood"; "logl"; "mass_threshold"; "qdelay" ]
+
+let float_module_non_float =
+  [
+    "Float.equal";
+    "Float.compare";
+    "Float.is_nan";
+    "Float.is_finite";
+    "Float.is_integer";
+    "Float.to_int";
+    "Float.to_string";
+    "Float.sign_bit";
+  ]
+
+let rec is_floatish (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } ->
+      let name = strip_stdlib (ident_name txt) in
+      List.mem name float_consts || List.mem name known_float_idents
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let name = strip_stdlib (ident_name txt) in
+      List.mem name float_arith || List.mem name float_returning
+      || (has_prefix ~prefix:"Float." name && not (List.mem name float_module_non_float))
+  | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt; _ }, []); _ }) ->
+      ident_name txt = "float" || is_floatish inner
+  | _ -> false
+
+let is_abs_application (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let name = strip_stdlib (ident_name txt) in
+      name = "abs_float" || name = "Float.abs"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* One file. *)
+
+type context = {
+  x_file : string; (* path as reported in diagnostics *)
+  x_rel : string; (* repo-relative path used for classification *)
+  x_hot : (int * int) list;
+  mutable x_diags : diag list;
+}
+
+let report ctx ~loc ~rule message =
+  let p = loc.Location.loc_start in
+  ctx.x_diags <-
+    mk ~file:ctx.x_file ~line:p.Lexing.pos_lnum
+      ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+      ~rule message
+    :: ctx.x_diags
+
+let in_hot ctx line = List.exists (fun (a, b) -> line >= a && line <= b) ctx.x_hot
+
+let check_ident ctx ~loc name =
+  let name = strip_stdlib name in
+  let line = loc.Location.loc_start.Lexing.pos_lnum in
+  if rng_banned name && not (rng_home ctx.x_rel) then
+    report ctx ~loc ~rule:"R1"
+      (name
+     ^ " breaks the pre-split RNG determinism contract; draw from a Stats.Rng stream (lib/stats/rng.ml is the only sanctioned home)");
+  if concurrency_banned name && not (concurrency_home ctx.x_rel) then
+    report ctx ~loc ~rule:"R2"
+      (name
+     ^ " outside lib/stats/pool.ml, lib/stats/par.ml or lib/obs/; route parallelism through Stats.Pool");
+  if in_lib ctx.x_rel && io_banned name then
+    report ctx ~loc ~rule:"R4"
+      (name ^ " in library code; binaries own process control and stdout");
+  if in_hot ctx line && allocating name then
+    report ctx ~loc ~rule:"R5"
+      (name ^ " allocates inside a (* lint: hot *) region")
+
+let comparison_ops = [ "=" ; "<>" ]
+let ordered_ops = [ "<"; "<="; ">"; ">=" ]
+
+let check_apply ctx ~loc fname (args : (Asttypes.arg_label * Parsetree.expression) list) =
+  if float_cmp_home ctx.x_rel then ()
+  else
+    let operands = List.map snd args in
+    let fname = strip_stdlib fname in
+    if (List.mem fname comparison_ops || fname = "compare") && List.length operands >= 2
+       && List.exists is_floatish operands
+    then
+      report ctx ~loc ~rule:"R3"
+        ("float operand under polymorphic " ^ fname
+       ^ "; exact float equality corrupts the F(2d*) threshold logic — use Stats.Float_cmp")
+    else if List.mem fname ordered_ops && List.exists is_abs_application operands then
+      report ctx ~loc ~rule:"R3"
+        "hand-rolled abs_float epsilon test; use Stats.Float_cmp.approx_eq"
+
+let walk_structure ctx str =
+  let open Ast_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> check_ident ctx ~loc:e.pexp_loc (ident_name txt)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+        check_apply ctx ~loc:e.pexp_loc (ident_name txt) args
+    | Pexp_construct ({ txt; _ }, _)
+      when ident_name txt = "::"
+           && in_hot ctx e.pexp_loc.Location.loc_start.Lexing.pos_lnum ->
+        report ctx ~loc:e.pexp_loc ~rule:"R5" "list cons allocates inside a (* lint: hot *) region"
+    | _ -> ());
+    default_iterator.expr self e
+  in
+  let it = { default_iterator with expr } in
+  it.structure it str
+
+let parse_structure ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  Parse.implementation lexbuf
+
+(* Suppression: an allow comment covers its own line and the next. *)
+let apply_suppressions directives diags =
+  let allows =
+    List.filter_map (function Allow { a_rule; a_line } -> Some (a_rule, a_line) | _ -> None) directives
+  in
+  List.filter
+    (fun d ->
+      d.d_rule = "R0"
+      || not
+           (List.exists
+              (fun (rule, line) -> rule = d.d_rule && (d.d_line = line || d.d_line = line + 1))
+              allows))
+    diags
+
+(* [mli_exists]: [None] checks the filesystem next to [disk_path];
+   tests pass [Some _] to pin the answer. *)
+let lint_source ?(disk_path = "") ?mli_exists ~path src =
+  let comments = scan_comments src in
+  let directives = List.filter_map parse_directive comments in
+  let fixture_path =
+    List.find_map (function Fixture_path p -> Some p | _ -> None) directives
+  in
+  let effective = match fixture_path with Some p -> p | None -> path in
+  let rel = rel_path effective in
+  let hot, fence_diags = hot_ranges ~file:path directives in
+  let malformed =
+    List.filter_map
+      (function
+        | Malformed { m_line; m_message } ->
+            Some (mk ~file:path ~line:m_line ~col:0 ~rule:"R0" m_message)
+        | _ -> None)
+      directives
+  in
+  let ctx = { x_file = path; x_rel = rel; x_hot = hot; x_diags = [] } in
+  let parse_diags =
+    try
+      walk_structure ctx (parse_structure ~file:path src);
+      []
+    with
+    | Syntaxerr.Error _ -> [ mk ~file:path ~line:1 ~col:0 ~rule:"R0" "syntax error; cannot lint" ]
+    | e ->
+        [ mk ~file:path ~line:1 ~col:0 ~rule:"R0" ("parse failure: " ^ Printexc.to_string e) ]
+  in
+  (if in_lib rel && Filename.check_suffix rel ".ml" then
+     let exists =
+       match mli_exists with
+       | Some b -> b
+       | None ->
+           disk_path <> ""
+           && Sys.file_exists (Filename.chop_suffix disk_path ".ml" ^ ".mli")
+     in
+     if not exists then
+       ctx.x_diags <-
+         mk ~file:path ~line:1 ~col:0 ~rule:"R6"
+           ("module " ^ Filename.basename rel ^ " exposes its full implementation; add a .mli")
+         :: ctx.x_diags);
+  let diags =
+    List.sort
+      (fun a b -> if a.d_line <> b.d_line then compare a.d_line b.d_line else compare a.d_col b.d_col)
+      (ctx.x_diags @ fence_diags @ malformed @ parse_diags)
+  in
+  apply_suppressions directives diags
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint_file path = lint_source ~disk_path:path ~path (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Tree walking and output. *)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || entry.[0] = '.' then []
+           else ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diag_to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","id":"%s","message":"%s"}|}
+    (json_escape d.d_file) d.d_line d.d_col d.d_rule d.d_id (json_escape d.d_message)
+
+let print_diags ~json diags =
+  if json then
+    print_string ("[" ^ String.concat ",\n " (List.map diag_to_json diags) ^ "]\n")
+  else
+    List.iter
+      (fun d ->
+        Printf.printf "%s:%d:%d [%s/%s] %s\n" d.d_file d.d_line d.d_col d.d_rule d.d_id d.d_message)
+      diags
+
+(* ------------------------------------------------------------------ *)
+(* Fixture self-test: each fixture marks its expected diagnostics with
+   [(* expect: RULE *)] on the offending line; the run passes when
+   every fixture produces exactly its expected (line, rule) multiset —
+   suppressed variants expect nothing and must produce nothing. *)
+
+let fixture_expectations src =
+  scan_comments src |> List.filter_map parse_directive
+  |> List.filter_map (function Expect { e_rule; e_line } -> Some (e_line, e_rule) | _ -> None)
+
+let run_fixtures dir =
+  let files = ml_files dir in
+  if files = [] then begin
+    Printf.printf "dcl-lint: no fixtures under %s\n" dir;
+    1
+  end
+  else begin
+    let failures = ref 0 in
+    let checked = ref 0 in
+    List.iter
+      (fun path ->
+        incr checked;
+        let src = read_file path in
+        let expected = List.sort compare (fixture_expectations src) in
+        let actual =
+          List.sort compare
+            (List.map (fun d -> (d.d_line, d.d_rule)) (lint_source ~disk_path:path ~path src))
+        in
+        if expected <> actual then begin
+          incr failures;
+          let show l =
+            String.concat ", " (List.map (fun (ln, r) -> Printf.sprintf "%s@%d" r ln) l)
+          in
+          Printf.printf "FIXTURE FAIL %s\n  expected: [%s]\n  actual:   [%s]\n" path
+            (show expected) (show actual)
+        end)
+      files;
+    if !failures = 0 then begin
+      Printf.printf "dcl-lint: %d fixtures ok\n" !checked;
+      0
+    end
+    else begin
+      Printf.printf "dcl-lint: %d of %d fixtures failed\n" !failures !checked;
+      1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CLI. *)
+
+let version = "1.0.0"
+
+let usage =
+  String.concat "\n"
+    [
+      "dcl-lint " ^ version ^ " — project-contract checker (determinism / domain-safety)";
+      "";
+      "usage: dcl-lint [--json] PATH...         lint .ml files under each PATH";
+      "       dcl-lint --fixtures DIR           self-test against expectation fixtures";
+      "       dcl-lint --version | --help";
+      "";
+      "rules:";
+      "  R1/rng-containment     Random.* and wall-clock seeding only in lib/stats/rng.ml";
+      "  R2/domain-containment  Domain/Mutex/Condition/Atomic only in pool.ml, par.ml, lib/obs/";
+      "  R3/float-cmp           no =, <>, compare on floats; no hand-rolled abs_float epsilon";
+      "  R4/io-containment      no exit / printf / prerr in lib/";
+      "  R5/hot-alloc           no allocating combinators inside (* lint: hot *) fences";
+      "  R6/missing-mli         lib/ modules must ship a .mli";
+      "";
+      "suppress one site: (* lint: allow RULE reason *)  — reason is mandatory";
+      "exit codes: 0 clean, 1 diagnostics reported, 2 usage error";
+    ]
+
+module Cli = struct
+  let run args =
+    let json = ref false in
+    let fixtures = ref None in
+    let paths = ref [] in
+    let rec parse = function
+      | [] -> None
+      | "--json" :: tl ->
+          json := true;
+          parse tl
+      | "--fixtures" :: dir :: tl ->
+          fixtures := Some dir;
+          parse tl
+      | [ "--fixtures" ] -> Some "--fixtures needs a directory"
+      | ("--version" | "-V") :: _ ->
+          print_endline ("dcl-lint " ^ version);
+          raise Exit
+      | ("--help" | "-h") :: _ ->
+          print_endline usage;
+          raise Exit
+      | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> Some ("unknown option " ^ arg)
+      | path :: tl ->
+          paths := path :: !paths;
+          parse tl
+    in
+    match parse args with
+    | exception Exit -> 0
+    | Some err ->
+        prerr_endline ("dcl-lint: " ^ err);
+        prerr_endline usage;
+        2
+    | None -> (
+        match !fixtures with
+        | Some dir -> if Sys.file_exists dir then run_fixtures dir else (prerr_endline ("dcl-lint: no such directory " ^ dir); 2)
+        | None ->
+            let roots = List.rev !paths in
+            if roots = [] then begin
+              prerr_endline "dcl-lint: no paths given";
+              prerr_endline usage;
+              2
+            end
+            else if List.exists (fun p -> not (Sys.file_exists p)) roots then begin
+              prerr_endline "dcl-lint: path does not exist";
+              2
+            end
+            else begin
+              let files = List.concat_map ml_files roots in
+              let diags = List.concat_map lint_file files in
+              print_diags ~json:!json diags;
+              if diags = [] then begin
+                if not !json then
+                  Printf.printf "dcl-lint: %d files clean\n" (List.length files);
+                0
+              end
+              else 1
+            end)
+end

@@ -1,0 +1,1 @@
+let () = exit (Dcl_lint.Cli.run (List.tl (Array.to_list Sys.argv)))
