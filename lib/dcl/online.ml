@@ -14,6 +14,30 @@ let m_transitions =
     ~help:"Conclusion changes between consecutive sliding windows"
     "dcl_online_conclusion_transitions_total"
 
+let g_tail =
+  Obs.Gauge.make
+    ~help:"Trailing records left uncovered by the most recent scan"
+    "dcl_online_tail_records"
+
+let m_tail =
+  Obs.Counter.make
+    ~help:"Trailing records left uncovered by scans, cumulative"
+    "dcl_online_tail_records_total"
+
+(* Snap a float quotient that should be a whole number of records back
+   onto that integer before truncation-style rounding.  [window /.
+   interval] with decimal-fraction parameters (window 1.0, interval
+   0.1) evaluates to 10.000000000000002 in binary floats; feeding that
+   to [ceil] yields an 11-record window — a genuine off-by-one in
+   which every window reads one record too many.  The relative epsilon
+   keeps the snap meaningful for large quotients while never bridging
+   a real fractional part. *)
+let snap q =
+  let r = Float.round q in
+  if Stats.Float_cmp.approx_eq ~eps:(1e-9 *. Float.max 1. (Float.abs q)) q r
+  then r
+  else q
+
 let scan ?(params = Identify.default_params) ?(domains = 1) ?on_change ~rng
     ~window ~stride trace =
   if stride <= 0. then invalid_arg "Online.scan: stride <= 0";
@@ -29,9 +53,16 @@ let scan ?(params = Identify.default_params) ?(domains = 1) ?on_change ~rng
      drifts across record boundaries, duplicating some windows and
      skipping others.  Rounding the stride to a whole number of records
      once makes every window position exact. *)
-  let per_window = int_of_float (ceil (window /. interval)) in
-  let stride_rec = max 1 (int_of_float (Float.round (stride /. interval))) in
+  let per_window = int_of_float (ceil (snap (window /. interval))) in
+  let stride_rec = max 1 (int_of_float (Float.round (snap (stride /. interval)))) in
   let count = if per_window > n then 0 else ((n - per_window) / stride_rec) + 1 in
+  (* Coverage contract (see the .mli): records past the last window's
+     end are silently analyzed by no window; surface how many so a
+     monitoring deployment can alarm on a stride/window mismatch. *)
+  let covered = if count = 0 then 0 else ((count - 1) * stride_rec) + per_window in
+  let tail = n - covered in
+  Obs.Gauge.set g_tail (float_of_int tail);
+  if tail > 0 then Obs.Counter.add m_tail tail;
   (* One pre-split RNG per window: each window's identification is a
      pure function of its index, so the samples are identical whether
      the windows are evaluated serially or across domains. *)

@@ -39,7 +39,25 @@ val scan :
     is rounded once to a whole number of probe intervals, minimum one
     record), so the scan emits exactly
     [(length - per_window) / stride_records + 1] samples with no
-    float-accumulation drift.  Each window's identification draws from
+    float-accumulation drift.  Quotients such as [window /. interval]
+    that are within one part in 10^9 of an integer are snapped to that
+    integer before rounding, so decimal-fraction parameters (window
+    1.0 s, interval 0.1 s) give exactly the 10-record window they name
+    rather than an 11-record one from binary-float excess.
+
+    {b Coverage contract.}  Every record index in
+    [\[0, (count - 1) * stride_records + per_window)] is read by at
+    least one window; trailing records beyond that bound (fewer than
+    [stride_records] of them whenever at least one window fits, but
+    possibly the whole trace when [window > duration] of the trace)
+    are analyzed by {e no} window.  The scan publishes that tail size
+    through the [dcl_online_tail_records] gauge (last scan) and the
+    [dcl_online_tail_records_total] counter (cumulative) so deployments
+    can alarm on a stride/window mismatch; it never pads or emits a
+    partial window, since a shorter window would silently change the
+    statistical power of the tests run inside it.
+
+    Each window's identification draws from
     its own RNG pre-split from [rng], so with [domains > 1] the windows
     are evaluated on that many concurrent domains of the persistent
     pool ({!Stats.Pool}) and the samples are identical to the serial

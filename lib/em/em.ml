@@ -1,4 +1,14 @@
-type model = {
+(* Public EM surface: model/fit types, the EM update and convergence
+   logic, and restart racing.  The numerical inner loops live in
+   Em_kernel (Bigarray hot state, range kernels); the chunked
+   multi-domain sweep drivers live in Em_sweep, re-exported here as
+   [Sweep]. *)
+
+module Kernel = Em_kernel
+module Sweep = Em_sweep
+module Ba = Bigarray.Array1
+
+type model = Em_kernel.model = {
   s : int;
   m : int;
   pi : float array;
@@ -6,6 +16,8 @@ type model = {
   b : float array;
   c : float array;
 }
+
+type precision = Em_kernel.precision = F64 | F32
 
 type observation = int option
 
@@ -23,7 +35,7 @@ let pp_fit_stats ppf s =
     s.log_likelihood s.skipped_restarts
     (if s.skipped_restarts = 1 then "" else "s")
 
-exception Zero_likelihood of int
+exception Zero_likelihood = Em_kernel.Zero_likelihood
 
 (* Telemetry: registered once at module load, recorded only while Obs
    collection is enabled (each call is a single flag check otherwise).
@@ -38,10 +50,6 @@ let m_fits = Obs.Counter.make ~help:"EM fits completed" "dcl_em_fits_total"
 let m_sweep =
   Obs.Histogram.make ~help:"Wall time of one EM iteration (one em_step)"
     "dcl_em_sweep_seconds"
-
-let m_zero =
-  Obs.Counter.make ~help:"Observations found impossible under the current model"
-    "dcl_em_zero_likelihood_total"
 
 let m_degenerate =
   Obs.Counter.make ~help:"Restarts skipped after hitting a zero-likelihood degeneracy"
@@ -71,313 +79,35 @@ let set_iteration_trace h = Atomic.set iteration_trace h
 let prob_floor = 1e-12
 let c_floor = 1e-9
 
-type workspace = {
-  (* T*S sweep buffers, row-major by time. *)
-  mutable alpha : float array;
-  mutable beta : float array;
-  mutable scale : float array; (* T *)
-  mutable tmp : float array; (* S *)
-  (* Observation classes: cls.(t) = j for [Some j], m for [None].  A
-     class is both the row of the emission table and the row of the
-     active-state table, so the sweeps never touch the boxed
-     [int option] observations. *)
-  mutable cls : int array; (* T *)
-  (* Per-iteration emission table, class-major: row j < m holds
-     e(st, Some j) at e_all.(j*s + st), row m holds the loss emission
-     e(st, None) at e_all.(m*s + st). *)
-  mutable e_all : float array; (* (M+1)*S *)
-  mutable w : float array; (* S*M, state-major loss-symbol weights *)
-  (* Transposed transitions, a_t.(st'*s + st) = a.(st*s + st'), so the
-     forward recursion's inner sum over predecessor states walks a
-     contiguous row (the backward pass and the M-step already walk
-     contiguous rows of [a] itself). *)
-  mutable a_t : float array; (* S*S *)
-  (* Active-state lists: row j < m lists states that can emit symbol j,
-     row m lists states with positive loss emission. *)
-  mutable act : int array; (* (M+1)*S *)
-  mutable act_len : int array; (* M+1 *)
-  (* EM accumulators. *)
-  mutable xi : float array; (* S*S *)
-  mutable gamma_sum : float array; (* S *)
-  mutable count_obs : float array; (* S*M *)
-  mutable count_loss : float array; (* S*M *)
-  mutable cap_t : int;
-  mutable cap_s : int;
-  mutable cap_m : int;
-}
+type workspace = Em_kernel.workspace
 
-let workspace () =
-  {
-    alpha = [||];
-    beta = [||];
-    scale = [||];
-    tmp = [||];
-    cls = [||];
-    e_all = [||];
-    w = [||];
-    a_t = [||];
-    act = [||];
-    act_len = [||];
-    xi = [||];
-    gamma_sum = [||];
-    count_obs = [||];
-    count_loss = [||];
-    cap_t = 0;
-    cap_s = 0;
-    cap_m = 0;
-  }
+let workspace ?precision () = Kernel.create ?precision ()
+let precision (ws : workspace) = ws.precision
+let domain_ws = Sweep.domain_ws
 
-(* Grow (never shrink) every buffer to hold a [tt]-step sweep of an
-   [s]-state, [m]-symbol model.  Amortized: a workspace reused across
-   iterations and restarts allocates nothing after the first call. *)
-let reserve ws ~tt ~s ~m =
-  if s > ws.cap_s || m > ws.cap_m then begin
-    let cs = max s ws.cap_s and cm = max m ws.cap_m in
-    ws.tmp <- Array.make cs 0.;
-    ws.e_all <- Array.make ((cm + 1) * cs) 0.;
-    ws.w <- Array.make (cs * cm) 0.;
-    ws.a_t <- Array.make (cs * cs) 0.;
-    ws.act <- Array.make ((cm + 1) * cs) 0;
-    ws.act_len <- Array.make (cm + 1) 0;
-    ws.xi <- Array.make (cs * cs) 0.;
-    ws.gamma_sum <- Array.make cs 0.;
-    ws.count_obs <- Array.make (cs * cm) 0.;
-    ws.count_loss <- Array.make (cs * cm) 0.;
-    ws.cap_s <- cs;
-    ws.cap_m <- cm;
-    (* Force the T*S buffers to regrow with the new row width. *)
-    ws.cap_t <- 0
-  end;
-  if tt > ws.cap_t then begin
-    let ct = max tt ws.cap_t in
-    ws.alpha <- Array.make (ct * ws.cap_s) 0.;
-    ws.beta <- Array.make (ct * ws.cap_s) 0.;
-    ws.scale <- Array.make ct 0.;
-    ws.cls <- Array.make ct 0;
-    ws.cap_t <- ct
-  end
+let check_obs name obs =
+  if Array.length obs = 0 then invalid_arg (name ^ ": empty observation sequence")
 
-(* Collapse the boxed observations into integer classes once per sweep;
-   every pass then reads the flat [cls] array instead of matching an
-   [int option] (a pointer dereference plus a branch) at each of its
-   per-time-step accesses. *)
-let classify ws (t : model) obs =
-  let m = t.m and cls = ws.cls in
-  for time = 0 to Array.length obs - 1 do
-    Array.unsafe_set cls time
-      (match Array.unsafe_get obs time with Some j -> j | None -> m)
-  done
-
-(* Fill the emission table, active-state lists and transposed
-   transitions for [t] — once per class per iteration, however many
-   times each class occurs in the sequence.  The missing-value emission
-   (paper Section V) lives here, shared by both model families:
-     e(st, Some j) = b_st(j) * (1 - c_j)
-     e(st, None)   = sum_j b_st(j) * c_j
-     w(st, j)      = b_st(j) * c_j / e(st, None)   (loss-symbol posterior) *)
-let prepare ws (t : model) =
-  let s = t.s and m = t.m in
-  let b = t.b and c = t.c in
-  let e_all = ws.e_all and w = ws.w in
-  let act = ws.act and act_len = ws.act_len in
-  for j = 0 to m - 1 do
-    let one_minus_c = 1. -. Array.unsafe_get c j in
-    let row = j * s in
-    let len = ref 0 in
-    for st = 0 to s - 1 do
-      let e = Array.unsafe_get b ((st * m) + j) *. one_minus_c in
-      Array.unsafe_set e_all (row + st) e;
-      if e > 0. then begin
-        Array.unsafe_set act (row + !len) st;
-        incr len
-      end
-    done;
-    act_len.(j) <- !len
-  done;
-  let loss_row = m * s in
-  let loss_len = ref 0 in
-  for st = 0 to s - 1 do
-    let acc = ref 0. in
-    let base = st * m in
-    for j = 0 to m - 1 do
-      acc := !acc +. (Array.unsafe_get b (base + j) *. Array.unsafe_get c j)
-    done;
-    let e = !acc in
-    Array.unsafe_set e_all (loss_row + st) e;
-    if e > 0. then begin
-      Array.unsafe_set act (loss_row + !loss_len) st;
-      incr loss_len;
-      let inv = 1. /. e in
-      for j = 0 to m - 1 do
-        Array.unsafe_set w (base + j)
-          (Array.unsafe_get b (base + j) *. Array.unsafe_get c j *. inv)
-      done
-    end
-    else
-      for j = 0 to m - 1 do
-        Array.unsafe_set w (base + j) 0.
-      done
-  done;
-  act_len.(m) <- !loss_len;
-  let a = t.a and a_t = ws.a_t in
-  for st = 0 to s - 1 do
-    let row = st * s in
-    for st' = 0 to s - 1 do
-      Array.unsafe_set a_t ((st' * s) + st) (Array.unsafe_get a (row + st'))
-    done
-  done
-
-(* lint: hot *)
-(* One forward step over the active sets.  A class [r] addresses both
-   its emission row and its active-state row at offset [r * s], so one
-   [base] serves both tables and there is no per-kind dispatch.  Writes
-   unnormalized alpha values and the scale into the workspace directly
-   so no float crosses a function boundary (a non-inlined float return
-   is boxed, and these run once per active state per time step).  The
-   inner sum reads the transposed transitions: for a fixed successor
-   [st'] the predecessors walk the contiguous row [a_t.(st'*s + ..)]. *)
-let fwd_step a_t act alpha e_all ~base ~len ~basep ~lenp ~row ~rowp ~s scale
-    ~time =
-  let sc = ref 0. in
-  for idx = 0 to len - 1 do
-    let st' = Array.unsafe_get act (base + idx) in
-    let trow = st' * s in
-    let acc = ref 0. in
-    for idxp = 0 to lenp - 1 do
-      let st = Array.unsafe_get act (basep + idxp) in
-      acc :=
-        !acc
-        +. Array.unsafe_get alpha (rowp + st) *. Array.unsafe_get a_t (trow + st)
-    done;
-    let v = !acc *. Array.unsafe_get e_all (base + st') in
-    Array.unsafe_set alpha (row + st') v;
-    sc := !sc +. v
-  done;
-  Array.unsafe_set scale time !sc
-
-(* Scaled forward pass (Rabiner's \hat{alpha}) over [tt] classified
-   steps; returns the log-likelihood.  Only slots listed in the time's
-   active set are written; every later read is masked by the same
-   active set, so the untouched slots are never observed. *)
-let forward ws (t : model) tt =
-  let s = t.s in
-  let alpha = ws.alpha and scale = ws.scale and a_t = ws.a_t in
-  let e_all = ws.e_all and cls = ws.cls in
-  let act = ws.act and act_len = ws.act_len in
-  let ll = ref 0. in
-  let r0 = Array.unsafe_get cls 0 in
-  let base0 = r0 * s and len0 = act_len.(r0) in
-  let s0 = ref 0. in
-  for idx = 0 to len0 - 1 do
-    let st = Array.unsafe_get act (base0 + idx) in
-    let v = Array.unsafe_get t.pi st *. Array.unsafe_get e_all (base0 + st) in
-    Array.unsafe_set alpha st v;
-    s0 := !s0 +. v
-  done;
-  if !s0 <= 0. then begin
-    Obs.Counter.incr m_zero;
-    raise (Zero_likelihood 0)
-  end;
-  scale.(0) <- !s0;
-  ll := log !s0;
-  let inv0 = 1. /. !s0 in
-  for idx = 0 to len0 - 1 do
-    let st = Array.unsafe_get act (base0 + idx) in
-    Array.unsafe_set alpha st (Array.unsafe_get alpha st *. inv0)
-  done;
-  for time = 1 to tt - 1 do
-    let r = Array.unsafe_get cls time and rp = Array.unsafe_get cls (time - 1) in
-    let base = r * s and len = act_len.(r) in
-    let basep = rp * s and lenp = act_len.(rp) in
-    let row = time * s and rowp = (time - 1) * s in
-    fwd_step a_t act alpha e_all ~base ~len ~basep ~lenp ~row ~rowp ~s scale
-      ~time;
-    let sc = Array.unsafe_get scale time in
-    if sc <= 0. then begin
-      Obs.Counter.incr m_zero;
-      raise (Zero_likelihood time)
-    end;
-    ll := !ll +. log sc;
-    let inv = 1. /. sc in
-    for idx = 0 to len - 1 do
-      let st' = Array.unsafe_get act (base + idx) in
-      Array.unsafe_set alpha ((row + st')) (Array.unsafe_get alpha (row + st') *. inv)
-    done
-  done;
-  !ll
-
-(* Fill [tmp.(st')] = e(st', o1) * beta.(row1 + st') / scale.(time1)
-   for the active states of the time's class; shared by the backward
-   pass and the xi accumulation of the EM step.  [base1] addresses both
-   the class's active row and its emission row, so the observed and
-   loss cases are one code path; the scale is re-read from the
-   workspace array rather than passed as a float argument, for the same
-   boxing reason as {!fwd_step}. *)
-let fill_tmp ws ~base1 ~len1 ~row1 ~time1 =
-  let act = ws.act and beta = ws.beta and tmp = ws.tmp and e_all = ws.e_all in
-  let inv = 1. /. Array.unsafe_get ws.scale time1 in
-  for idx1 = 0 to len1 - 1 do
-    let st' = Array.unsafe_get act (base1 + idx1) in
-    Array.unsafe_set tmp st'
-      (Array.unsafe_get e_all (base1 + st')
-      *. Array.unsafe_get beta (row1 + st')
-      *. inv)
-  done
-
-(* Scaled backward pass; requires a completed forward pass (scales).
-   The inner sum over successors walks a contiguous row of [a]
-   directly. *)
-let backward ws (t : model) tt =
-  let s = t.s in
-  let beta = ws.beta and tmp = ws.tmp and a = t.a in
-  let act = ws.act and act_len = ws.act_len and cls = ws.cls in
-  let rl = Array.unsafe_get cls (tt - 1) in
-  let basel = rl * s and lenl = act_len.(rl) in
-  let rowl = (tt - 1) * s in
-  for idx = 0 to lenl - 1 do
-    Array.unsafe_set beta (rowl + Array.unsafe_get act (basel + idx)) 1.
-  done;
-  for time = tt - 2 downto 0 do
-    let r = Array.unsafe_get cls time and r1 = Array.unsafe_get cls (time + 1) in
-    let base = r * s and len = act_len.(r) in
-    let base1 = r1 * s and len1 = act_len.(r1) in
-    let row = time * s and row1 = (time + 1) * s in
-    fill_tmp ws ~base1 ~len1 ~row1 ~time1:(time + 1);
-    for idx = 0 to len - 1 do
-      let st = Array.unsafe_get act (base + idx) in
-      let acc = ref 0. in
-      let arow = st * s in
-      for idx1 = 0 to len1 - 1 do
-        let st' = Array.unsafe_get act (base1 + idx1) in
-        acc := !acc +. (Array.unsafe_get a (arow + st') *. Array.unsafe_get tmp st')
-      done;
-      Array.unsafe_set beta (row + st) !acc
-    done
-  done
-(* lint: end-hot *)
-
-let check_obs name obs = if Array.length obs = 0 then invalid_arg (name ^ ": empty observation sequence")
-
-let sweep ws t obs =
+let run_sweep ~sweep ws (t : model) obs =
   let tt = Array.length obs in
-  reserve ws ~tt ~s:t.s ~m:t.m;
-  classify ws t obs;
-  prepare ws t;
-  let ll = forward ws t tt in
-  backward ws t tt;
+  Kernel.reserve ws ~tt ~s:t.s ~m:t.m ~k:(Sweep.effective_chunks sweep ~tt);
+  Kernel.classify ws t obs;
+  Kernel.prepare ws t;
+  let ll = Sweep.forward ws t sweep ~tt in
+  Sweep.backward ws t sweep ~tt;
   ll
 
-let log_likelihood ~ws t obs =
+let log_likelihood ~ws ?(sweep = Sweep.serial) t obs =
   check_obs "Em.log_likelihood" obs;
   let tt = Array.length obs in
-  reserve ws ~tt ~s:t.s ~m:t.m;
-  classify ws t obs;
-  prepare ws t;
-  forward ws t tt
+  Kernel.reserve ws ~tt ~s:t.s ~m:t.m ~k:(Sweep.effective_chunks sweep ~tt);
+  Kernel.classify ws t obs;
+  Kernel.prepare ws t;
+  Sweep.forward ws t sweep ~tt
 
-let state_posteriors ~ws t obs =
+let state_posteriors ~(ws : workspace) t obs =
   check_obs "Em.state_posteriors" obs;
-  ignore (sweep ws t obs);
+  ignore (run_sweep ~sweep:Sweep.serial ws t obs);
   let s = t.s in
   let act = ws.act and act_len = ws.act_len and cls = ws.cls in
   Array.init (Array.length obs) (fun time ->
@@ -385,30 +115,29 @@ let state_posteriors ~ws t obs =
       let r = cls.(time) in
       let base = r * s and row = time * s in
       for idx = 0 to act_len.(r) - 1 do
-        let st = Array.unsafe_get act (base + idx) in
-        gamma.(st) <- Array.unsafe_get ws.alpha (row + st) *. Array.unsafe_get ws.beta (row + st)
+        let st = act.(base + idx) in
+        gamma.(st) <- Ba.get ws.alpha (row + st) *. Ba.get ws.beta (row + st)
       done;
       gamma)
 
-let virtual_delay_pmf ~ws t obs =
+let virtual_delay_pmf ~(ws : workspace) t obs =
   check_obs "Em.virtual_delay_pmf" obs;
   if not (Array.exists (fun o -> o = None) obs) then
     invalid_arg "Em.virtual_delay_pmf: no loss in the sequence";
-  ignore (sweep ws t obs);
+  ignore (run_sweep ~sweep:Sweep.serial ws t obs);
   let s = t.s and m = t.m in
-  let alpha = ws.alpha and beta = ws.beta and w = ws.w and cls = ws.cls in
-  let act = ws.act and act_len = ws.act_len in
+  let cls = ws.cls and act = ws.act and act_len = ws.act_len in
   let acc = Array.make m 0. in
   let base = m * s and len = act_len.(m) in
   for time = 0 to Array.length obs - 1 do
     if cls.(time) = m then begin
       let row = time * s in
       for idx = 0 to len - 1 do
-        let st = Array.unsafe_get act (base + idx) in
-        let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
+        let st = act.(base + idx) in
+        let g = Ba.get ws.alpha (row + st) *. Ba.get ws.beta (row + st) in
         let wbase = st * m in
         for j = 0 to m - 1 do
-          acc.(j) <- acc.(j) +. (g *. Array.unsafe_get w (wbase + j))
+          acc.(j) <- acc.(j) +. (g *. Ba.get ws.w (wbase + j))
         done
       done
     end
@@ -432,89 +161,33 @@ let floor_normalize row off n =
 
 let clamp_c p = Float.max c_floor (Float.min (1. -. c_floor) p)
 
-let em_step ~ws ~update_b (t : model) obs =
+let em_step ~(ws : workspace) ?(sweep = Sweep.serial) ~update_b (t : model) obs =
   check_obs "Em.em_step" obs;
   let tt = Array.length obs in
   let s = t.s and m = t.m in
-  ignore (sweep ws t obs);
-  let alpha = ws.alpha and beta = ws.beta and tmp = ws.tmp and cls = ws.cls in
-  let act = ws.act and act_len = ws.act_len in
-  let xi = ws.xi and gamma_sum = ws.gamma_sum in
-  let count_obs = ws.count_obs and count_loss = ws.count_loss in
-  Array.fill xi 0 (s * s) 0.;
-  Array.fill gamma_sum 0 s 0.;
-  Array.fill count_obs 0 (s * m) 0.;
-  Array.fill count_loss 0 (s * m) 0.;
-  (* lint: hot *)
-  (* Transition statistics over active pairs. *)
-  for time = 0 to tt - 2 do
-    let r = Array.unsafe_get cls time and r1 = Array.unsafe_get cls (time + 1) in
-    let base = r * s and len = act_len.(r) in
-    let base1 = r1 * s and len1 = act_len.(r1) in
-    let row = time * s and row1 = (time + 1) * s in
-    fill_tmp ws ~base1 ~len1 ~row1 ~time1:(time + 1);
-    for idx = 0 to len - 1 do
-      let st = Array.unsafe_get act (base + idx) in
-      let a_ts = Array.unsafe_get alpha (row + st) in
-      gamma_sum.(st) <-
-        gamma_sum.(st) +. (a_ts *. Array.unsafe_get beta (row + st));
-      if a_ts > 0. then begin
-        let arow = st * s in
-        for idx1 = 0 to len1 - 1 do
-          let st' = Array.unsafe_get act (base1 + idx1) in
-          Array.unsafe_set xi (arow + st')
-            (Array.unsafe_get xi (arow + st')
-            +. (a_ts *. Array.unsafe_get t.a (arow + st') *. Array.unsafe_get tmp st'))
-        done
-      end
-    done
-  done;
-  (* Emission / loss statistics, branched once per time step on the
-     precomputed class. *)
-  let w = ws.w in
-  for time = 0 to tt - 1 do
-    let r = Array.unsafe_get cls time in
-    let row = time * s in
-    if r < m then begin
-      let base = r * s in
-      for idx = 0 to act_len.(r) - 1 do
-        let st = Array.unsafe_get act (base + idx) in
-        let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
-        count_obs.((st * m) + r) <- count_obs.((st * m) + r) +. g
-      done
-    end
-    else begin
-      let base = m * s in
-      for idx = 0 to act_len.(m) - 1 do
-        let st = Array.unsafe_get act (base + idx) in
-        let g = Array.unsafe_get alpha (row + st) *. Array.unsafe_get beta (row + st) in
-        let cbase = st * m in
-        for j = 0 to m - 1 do
-          count_loss.(cbase + j) <-
-            count_loss.(cbase + j) +. (g *. Array.unsafe_get w (cbase + j))
-        done
-      done
-    end
-  done;
-  (* lint: end-hot *)
-  (* M-step.  gamma 0 sums to 1 only up to rounding; renormalize. *)
+  ignore (run_sweep ~sweep ws t obs);
+  Sweep.accumulate ws t sweep ~tt;
+  (* M-step over the accumulated statistics.  gamma 0 sums to 1 only up
+     to rounding; renormalize. *)
+  let cls = ws.cls and act = ws.act and act_len = ws.act_len in
   let pi' = Array.make s 0. in
   let r0 = cls.(0) in
   let base0 = r0 * s in
   for idx = 0 to act_len.(r0) - 1 do
-    let st = Array.unsafe_get act (base0 + idx) in
-    pi'.(st) <- Float.max 0. (alpha.(st) *. beta.(st))
+    let st = act.(base0 + idx) in
+    pi'.(st) <- Float.max 0. (Ba.get ws.alpha st *. Ba.get ws.beta st)
   done;
   let pi_sum = Array.fold_left ( +. ) 0. pi' in
   let pi' = Array.map (fun p -> p /. pi_sum) pi' in
   let a' = Array.make (s * s) 0. in
   for st = 0 to s - 1 do
     let off = st * s in
-    if gamma_sum.(st) <= 0. then Array.blit t.a off a' off s
+    let g = Ba.get ws.gamma_sum st in
+    if g <= 0. then Array.blit t.a off a' off s
     else begin
-      let inv = 1. /. gamma_sum.(st) in
+      let inv = 1. /. g in
       for k = 0 to s - 1 do
-        a'.(off + k) <- xi.(off + k) *. inv
+        a'.(off + k) <- Ba.get ws.xi (off + k) *. inv
       done;
       floor_normalize a' off s
     end
@@ -527,7 +200,7 @@ let em_step ~ws ~update_b (t : model) obs =
         let off = st * m in
         let sum = ref 0. in
         for j = 0 to m - 1 do
-          let v = count_obs.(off + j) +. count_loss.(off + j) in
+          let v = Ba.get ws.count_obs (off + j) +. Ba.get ws.count_loss (off + j) in
           b'.(off + j) <- v;
           sum := !sum +. v
         done;
@@ -540,9 +213,9 @@ let em_step ~ws ~update_b (t : model) obs =
     Array.init m (fun j ->
         let lost = ref 0. and seen = ref 0. in
         for st = 0 to s - 1 do
-          let l = count_loss.((st * m) + j) in
+          let l = Ba.get ws.count_loss ((st * m) + j) in
           lost := !lost +. l;
-          seen := !seen +. count_obs.((st * m) + j) +. l
+          seen := !seen +. Ba.get ws.count_obs ((st * m) + j) +. l
         done;
         if !seen <= 0. then t.c.(j) else clamp_c (!lost /. !seen))
   in
@@ -563,22 +236,23 @@ let param_change old_t new_t =
   let d = if old_t.b == new_t.b then d else Float.max d (max_abs_diff old_t.b new_t.b) in
   Float.max d (max_abs_diff old_t.c new_t.c)
 
-let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
+let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ?(sweep = Sweep.serial)
+    ~update_b t0 obs =
   let rec iterate t iter =
     let t0_ns = Obs.Span.start () in
-    let t' = em_step ~ws ~update_b t obs in
+    let t' = em_step ~ws ~sweep ~update_b t obs in
     Obs.Span.stop m_sweep t0_ns;
     (* lint: allow R2 lock-free read of the shared trace hook *)
     (match Atomic.get iteration_trace with
     | None -> ()
     | Some hook ->
-        hook ~iteration:(iter + 1) ~log_likelihood:(log_likelihood ~ws t' obs));
+        hook ~iteration:(iter + 1) ~log_likelihood:(log_likelihood ~ws ~sweep t' obs));
     let change = param_change t t' in
     if change <= eps || iter + 1 >= max_iter then begin
       let stats =
         {
           iterations = iter + 1;
-          log_likelihood = log_likelihood ~ws t' obs;
+          log_likelihood = log_likelihood ~ws ~sweep t' obs;
           converged = change <= eps;
           skipped_restarts = 0;
         }
@@ -594,17 +268,11 @@ let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ~update_b t0 obs =
   in
   iterate t0 0
 
-(* One workspace per domain, reused across every fit that domain runs.
-   Because the domains behind Stats.Pool persist for the process
-   lifetime, these workspaces stay warm across pool jobs: back-to-back
-   parallel fits allocate nothing for their sweep buffers. *)
-let domain_ws_key = Domain.DLS.new_key workspace (* lint: allow R2 DLS keeps one warm workspace per pool domain *)
-let domain_ws () = Domain.DLS.get domain_ws_key (* lint: allow R2 DLS lookup of the per-domain workspace *)
-
-let fit_restarts ?eps ?max_iter ?(domains = 1) ~restarts ~update_b ~init obs =
+let fit_restarts ?eps ?max_iter ?(domains = 1) ?sweep ~restarts ~update_b ~init
+    obs =
   if restarts <= 0 then invalid_arg "Em.fit_restarts: restarts must be positive";
   let attempt k =
-    try Some (fit_from ~ws:(domain_ws ()) ?eps ?max_iter ~update_b (init k) obs)
+    try Some (fit_from ~ws:(domain_ws ()) ?eps ?max_iter ?sweep ~update_b (init k) obs)
     with Zero_likelihood _ -> None
   in
   let results = Stats.Par.map_range ~domains restarts attempt in

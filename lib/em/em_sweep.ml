@@ -1,0 +1,122 @@
+(* Within-sweep parallelism for the EM kernel: split the time axis into
+   K chunks on the persistent Stats.Pool, with speculative warm-up at
+   the chunk boundaries (Em_kernel) and a serial fallback when the
+   per-chunk range drops below the crossover threshold.
+
+   Determinism contract: for a fixed policy, the pooled run and the
+   inline ([domains = 1]) run execute the identical chunked arithmetic
+   over disjoint buffer ranges, so the results are bit-identical —
+   only the chunk count K changes the floating-point association.
+   Nested inside a restart-parallel pool item, Stats.Pool.run degrades
+   to the inline loop, so restart- and sweep-level parallelism compose
+   without changing results. *)
+
+type policy = { chunks : int; domains : int; warmup : int; min_chunk : int }
+
+let policy ?(chunks = 1) ?domains ?(warmup = 512) ?(min_chunk = 4096) () =
+  if chunks < 1 then invalid_arg "Em.Sweep.policy: chunks must be positive";
+  let domains = match domains with Some d -> d | None -> chunks in
+  if domains < 1 then invalid_arg "Em.Sweep.policy: domains must be positive";
+  let warmup = max 1 warmup in
+  (* A chunk shorter than two warm-ups spends more time speculating
+     than sweeping; the crossover floor keeps the parallel path an
+     actual win. *)
+  let min_chunk = max min_chunk (2 * warmup) in
+  { chunks; domains; warmup; min_chunk }
+
+let serial = policy ()
+let chunks p = p.chunks
+let domains p = p.domains
+
+let m_chunks =
+  Obs.Counter.make ~help:"Sweep chunks evaluated by the chunked EM drivers"
+    "dcl_em_sweep_chunks_total"
+
+let m_fallback =
+  Obs.Counter.make
+    ~help:
+      "Chunked sweeps that fell back to a single chunk (sequence below the \
+       crossover threshold)"
+    "dcl_em_sweep_serial_fallback_total"
+
+let h_chunks =
+  Obs.Histogram.make ~help:"Chunks per EM sweep pass"
+    ~buckets:(Obs.Histogram.linear_buckets ~lo:1. ~width:1. ~n:16)
+    "dcl_em_sweep_chunks_per_sweep"
+
+let h_phase =
+  Obs.Histogram.make
+    ~help:"Wall time of one chunked sweep phase (forward, backward or \
+           accumulate)"
+    "dcl_em_sweep_phase_seconds"
+
+(* Effective chunk count for a [tt]-step sweep: the policy's K, cut
+   down so no chunk is shorter than [min_chunk] (the serial-crossover
+   heuristic). *)
+let effective_chunks p ~tt =
+  if p.chunks <= 1 then 1 else max 1 (min p.chunks (tt / p.min_chunk))
+
+(* Chunk [i] of [k] covers [i*tt/k, (i+1)*tt/k): bounds are a pure
+   function of (tt, k), never of the schedule. *)
+let chunk_lo ~tt ~k i = i * tt / k
+let chunk_hi ~tt ~k i = (i + 1) * tt / k
+
+(* Run [f 0 .. f (k-1)], on the pool when the policy asks for domains.
+   Items write disjoint workspace ranges, so pooled and inline runs are
+   bit-identical; exceptions surface as the lowest-index item's, same
+   as the inline loop's first raise. *)
+let run p k f =
+  if k = 1 || p.domains <= 1 then
+    for i = 0 to k - 1 do
+      f i
+    done
+  else Stats.Pool.run ~participants:p.domains k f
+
+let note_chunks p k =
+  if Obs.enabled () then begin
+    if p.chunks > 1 && k = 1 then Obs.Counter.incr m_fallback;
+    Obs.Counter.add m_chunks k;
+    Obs.Histogram.observe h_chunks (float_of_int k)
+  end
+
+let forward ws (t : Em_kernel.model) p ~tt =
+  let k = effective_chunks p ~tt in
+  note_chunks p k;
+  let t0_ns = Obs.Span.start () in
+  run p k (fun i ->
+      Em_kernel.forward_chunk ws t ~warmup:p.warmup ~slot:i
+        ~t0:(chunk_lo ~tt ~k i) ~t1:(chunk_hi ~tt ~k i));
+  Obs.Span.stop h_phase t0_ns;
+  Em_kernel.ll_total ws ~k
+
+let backward ws (t : Em_kernel.model) p ~tt =
+  let k = effective_chunks p ~tt in
+  let t0_ns = Obs.Span.start () in
+  run p k (fun i ->
+      Em_kernel.backward_chunk ws t ~warmup:p.warmup ~slot:i
+        ~t0:(chunk_lo ~tt ~k i) ~t1:(chunk_hi ~tt ~k i) ~tt);
+  Obs.Span.stop h_phase t0_ns
+
+let accumulate ws (t : Em_kernel.model) p ~tt =
+  let k = effective_chunks p ~tt in
+  let t0_ns = Obs.Span.start () in
+  Em_kernel.clear_stats ws ~s:t.s ~m:t.m;
+  if k = 1 then Em_kernel.accumulate_direct ws t ~t0:0 ~t1:tt ~tt
+  else begin
+    run p k (fun i ->
+        Em_kernel.accumulate_slot ws t ~slot:i ~t0:(chunk_lo ~tt ~k i)
+          ~t1:(chunk_hi ~tt ~k i) ~tt);
+    (* Ascending combine: the final statistics depend on the chunking,
+       not on which domain ran which chunk. *)
+    for i = 0 to k - 1 do
+      Em_kernel.combine_slot ws ~slot:i ~s:t.s ~m:t.m
+    done
+  end;
+  Obs.Span.stop h_phase t0_ns
+
+(* One workspace per domain, reused across every fit that domain runs.
+   Because the domains behind Stats.Pool persist for the process
+   lifetime, these workspaces stay warm across pool jobs: back-to-back
+   parallel fits allocate nothing for their sweep buffers. *)
+let domain_ws_key = Domain.DLS.new_key (fun () -> Em_kernel.create ())
+let domain_ws () = Domain.DLS.get domain_ws_key

@@ -1,0 +1,46 @@
+(** Within-sweep parallel drivers for the EM kernel (library-internal;
+    re-exported to users as [Em.Sweep]).
+
+    A {!policy} says how to cut one forward/backward/accumulate sweep
+    over a [tt]-step sequence into K chunks and how many pool domains
+    to run them on.  Chunk boundaries and the combine order are pure
+    functions of [(tt, K)], so for a fixed policy the pooled and inline
+    runs are bit-identical; see DESIGN.md §10 for the warm-up math. *)
+
+type policy
+
+val policy :
+  ?chunks:int -> ?domains:int -> ?warmup:int -> ?min_chunk:int -> unit -> policy
+(** [chunks] (default 1): target chunk count K.  [domains] (default
+    [chunks]): pool participants running them.  [warmup] (default 512,
+    floored at 1): speculative boundary steps per interior chunk.
+    [min_chunk] (default 4096, floored at [2 * warmup]): shortest
+    allowed chunk — sweeps whose [tt / K] falls below it fall back to
+    fewer chunks, down to serial.  Raises [Invalid_argument] on
+    non-positive [chunks] or [domains]. *)
+
+val serial : policy
+(** [policy ()]: one chunk, no pool — the plain serial sweep. *)
+
+val chunks : policy -> int
+val domains : policy -> int
+
+val effective_chunks : policy -> tt:int -> int
+(** The chunk count actually used for a [tt]-step sweep, after the
+    [min_chunk] crossover cut. *)
+
+val forward : Em_kernel.workspace -> Em_kernel.model -> policy -> tt:int -> float
+(** Chunked scaled forward pass; returns the log-likelihood.
+    @raise Em_kernel.Zero_likelihood on an impossible observation. *)
+
+val backward : Em_kernel.workspace -> Em_kernel.model -> policy -> tt:int -> unit
+(** Chunked scaled backward pass; requires a completed {!forward}. *)
+
+val accumulate :
+  Em_kernel.workspace -> Em_kernel.model -> policy -> tt:int -> unit
+(** Chunked E-step statistics accumulation into the workspace's final
+    accumulators; requires completed {!forward} and {!backward}. *)
+
+val domain_ws : unit -> Em_kernel.workspace
+(** The calling domain's workspace, held in domain-local storage and
+    reused across calls. *)

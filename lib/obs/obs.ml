@@ -133,6 +133,11 @@ module Histogram = struct
       10.; 60.;
     |]
 
+  let linear_buckets ~lo ~width ~n =
+    if n <= 0 then invalid_arg "Obs.Histogram.linear_buckets: n <= 0";
+    if width <= 0. then invalid_arg "Obs.Histogram.linear_buckets: width <= 0";
+    Array.init n (fun i -> lo +. (width *. float_of_int i))
+
   let make ?(labels = []) ?(help = "") ?(buckets = default_latency_buckets) name =
     let nb = Array.length buckets in
     if nb = 0 then invalid_arg "Obs.Histogram.make: empty bucket list";

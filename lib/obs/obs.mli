@@ -83,6 +83,12 @@ module Histogram : sig
   (** Log-ish spacing from 1 µs to 60 s, suited to everything from a
       single EM sweep to a full pipeline stage. *)
 
+  val linear_buckets : lo:float -> width:float -> n:int -> float array
+  (** [n] strictly increasing upper bounds [lo], [lo + width], ... —
+      for small-integer-valued observations (chunks per sweep, records
+      per window) where the latency defaults are useless.  Raises
+      [Invalid_argument] unless [n] and [width] are positive. *)
+
   val make :
     ?labels:(string * string) list ->
     ?help:string ->

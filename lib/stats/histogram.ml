@@ -3,14 +3,37 @@ type t = {
   lo : float;
   hi : float;
   width : float;
+  edges : float array;
   counts : int array;
   mutable total : int;
+  mutable clamped : int;
 }
+
+let m_clamped =
+  Obs.Counter.make
+    ~help:"Samples outside [lo, hi] clamped into an edge bin"
+    "dcl_histogram_clamped_total"
 
 let create ~m ~lo ~hi =
   if m <= 0 then invalid_arg "Histogram.create: m <= 0";
   if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
-  { m; lo; hi; width = (hi -. lo) /. float_of_int m; counts = Array.make m 0; total = 0 }
+  let width = (hi -. lo) /. float_of_int m in
+  {
+    m;
+    lo;
+    hi;
+    width;
+    (* The shared boundary grid: bin [j] is the half-open interval
+       [edges.(j), edges.(j + 1)) (the last bin also owns [hi]).
+       Indexing and bin edges must come from the same grid — deriving
+       the index from [(x - lo) / width] alone disagrees with the
+       grid for samples sitting on a boundary whose product form
+       rounds the other way, pushing them into the adjacent bin. *)
+    edges = Array.init (m + 1) (fun j -> lo +. (float_of_int j *. width));
+    counts = Array.make m 0;
+    total = 0;
+    clamped = 0;
+  }
 
 let bins t = t.m
 let lo t = t.lo
@@ -20,9 +43,21 @@ let width t = t.width
 let index_of t x =
   if x <= t.lo then 0
   else if x >= t.hi then t.m - 1
-  else
-    let j = int_of_float ((x -. t.lo) /. t.width) in
-    if j >= t.m then t.m - 1 else j
+  else begin
+    (* Seed from the division, then walk at most one edge in either
+       direction so the returned bin satisfies the half-open contract
+       [edges.(j) <= x < edges.(j + 1)] exactly. *)
+    let j = ref (int_of_float ((x -. t.lo) /. t.width)) in
+    if !j > t.m - 1 then j := t.m - 1;
+    if !j < 0 then j := 0;
+    while !j > 0 && x < t.edges.(!j) do
+      decr j
+    done;
+    while !j < t.m - 1 && x >= t.edges.(!j + 1) do
+      incr j
+    done;
+    !j
+  end
 
 let value_of t j = t.lo +. (float_of_int (j + 1) *. t.width)
 
@@ -31,9 +66,16 @@ let add_index t j =
   t.counts.(j) <- t.counts.(j) + 1;
   t.total <- t.total + 1
 
-let add t x = add_index t (index_of t x)
+let add t x =
+  if x < t.lo || x > t.hi then begin
+    t.clamped <- t.clamped + 1;
+    Obs.Counter.incr m_clamped
+  end;
+  add_index t (index_of t x)
+
 let total t = t.total
 let counts t = Array.copy t.counts
+let clamped t = t.clamped
 
 let pmf t =
   if t.total = 0 then Array.make t.m 0.

@@ -20,8 +20,15 @@ val hi : t -> float
 val width : t -> float
 
 val index_of : t -> float -> int
-(** [index_of h x] maps a value to its bin, clamping values outside
-    [\[lo, hi\]] to the first/last bin. *)
+(** [index_of h x] maps a value to its bin.  Bins are half-open on the
+    shared boundary grid [edges.(j) = lo + j*w]: bin [j] owns
+    [\[edges.(j), edges.(j+1))], except the last bin which also owns
+    [hi].  The index is reconciled against that grid, so a sample
+    lying exactly on a boundary always lands in the bin whose lower
+    edge it is — the raw [(x - lo) / w] division can round either way
+    at a boundary and would otherwise place boundary samples in the
+    adjacent bin.  Values outside [\[lo, hi\]] clamp to the first/last
+    bin; {!add} counts such clamps (see {!clamped}). *)
 
 val value_of : t -> int -> float
 (** [value_of h j] is the upper edge of bin [j] — the paper's
@@ -29,9 +36,21 @@ val value_of : t -> int -> float
     delay value ("the corresponding actual delay value is j*w"). *)
 
 val add : t -> float -> unit
+(** Bin a sample via {!index_of}.  A sample strictly outside
+    [\[lo, hi\]] is clamped into the edge bin rather than dropped —
+    silently mixing out-of-range mass into the edge bins skews the
+    delay PMF, so each clamp is recorded in the per-histogram
+    {!clamped} counter and the process-wide
+    [dcl_histogram_clamped_total] {!Obs.Counter}. *)
+
 val add_index : t -> int -> unit
 val total : t -> int
 val counts : t -> int array
+
+val clamped : t -> int
+(** Number of {!add} samples that fell strictly outside [\[lo, hi\]]
+    and were clamped into an edge bin. *)
+
 val pmf : t -> float array
 (** Normalized counts; all zeros when the histogram is empty. *)
 

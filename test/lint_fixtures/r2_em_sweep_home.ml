@@ -1,0 +1,6 @@
+(* lint-fixture: lib/em/em_sweep.ml *)
+(* The within-sweep chunk driver is a sanctioned concurrency home:
+   Domain-local workspace state and pool dispatch live here by design,
+   so none of these produce R2 diagnostics. *)
+let key = Domain.DLS.new_key (fun () -> ref 0)
+let slot () = Domain.DLS.get key

@@ -1,0 +1,2 @@
+(* Companion interface so the lib/-classified fixture passes R6. *)
+val slot : unit -> int ref

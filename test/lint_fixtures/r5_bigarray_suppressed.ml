@@ -1,0 +1,14 @@
+(* lint-fixture: bin/fixtures/r5bas.ml *)
+module Ba = Bigarray.Array1
+
+let peek (b : (float, Bigarray.float64_elt, Bigarray.c_layout) Ba.t) =
+  (* lint: allow R5 fixture exercises the suppression path, not a real access *)
+  Ba.unsafe_get b 0
+
+let shrink (b : (float, Bigarray.float64_elt, Bigarray.c_layout) Ba.t) n =
+  (* lint: hot *)
+  (* lint: allow R5 fixture exercises the suppression path, not a real hot loop *)
+  let v = Ba.sub b 0 n in
+  let x = Ba.unsafe_get v 0 in
+  (* lint: end-hot *)
+  x

@@ -1,0 +1,14 @@
+(* lint-fixture: bin/fixtures/r5ba.ml *)
+module Ba = Bigarray.Array1
+
+(* Unsafe access outside a fence: bounds-unchecked loads are only
+   tolerated inside audited hot regions. *)
+let peek (b : (float, Bigarray.float64_elt, Bigarray.c_layout) Ba.t) =
+  Ba.unsafe_get b 0 (* expect: R5 *)
+
+let shrink (b : (float, Bigarray.float64_elt, Bigarray.c_layout) Ba.t) n =
+  (* lint: hot *)
+  let v = Ba.sub b 0 n in (* expect: R5 *)
+  let x = Ba.unsafe_get v 0 in
+  (* lint: end-hot *)
+  x

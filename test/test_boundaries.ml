@@ -156,25 +156,56 @@ let prop_histogram_index_monotone =
       Stats.Histogram.index_of h x <= Stats.Histogram.index_of h y)
 
 let prop_histogram_interior_edges =
-  (* An interior bin edge belongs to one of its two adjacent bins
-     (float rounding may put it on either side), never further away. *)
-  QCheck.Test.make ~name:"interior edges land in an adjacent bin" ~count:200
+  (* Bins are half-open on the shared boundary grid: an interior edge
+     belongs to exactly the bin whose lower edge it is.  Before the
+     grid-reconciled index_of, the raw division could round the edge
+     into either adjacent bin, so this property only held as
+     "j = k - 1 || j = k". *)
+  QCheck.Test.make ~name:"interior edges land in their own bin" ~count:200
     QCheck.(int_range 1 (hist_m - 1))
     (fun k ->
       let h = hist () in
       let edge = Stats.Histogram.lo h +. (float_of_int k *. Stats.Histogram.width h) in
-      let j = Stats.Histogram.index_of h edge in
-      j = k - 1 || j = k)
+      Stats.Histogram.index_of h edge = k)
 
 let prop_histogram_value_roundtrip =
-  (* The right edge of bin j indexes to j or j + 1 (edge ownership),
-     clamped to the last bin. *)
-  QCheck.Test.make ~name:"index_of (value_of j) is j or j+1" ~count:200
+  (* The right edge of bin j is the lower edge of bin j + 1, so under
+     half-open ownership it indexes to exactly j + 1 — except the last
+     right edge, which is hi and stays in the last bin. *)
+  QCheck.Test.make ~name:"index_of (value_of j) is exactly j+1 (last: j)" ~count:200
     QCheck.(int_range 0 (hist_m - 1))
     (fun j ->
       let h = hist () in
       let idx = Stats.Histogram.index_of h (Stats.Histogram.value_of h j) in
-      idx = min (j + 1) (hist_m - 1) || idx = j)
+      idx = min (j + 1) (hist_m - 1))
+
+let prop_histogram_half_open_contract =
+  (* Direct statement of the contract: every in-range sample satisfies
+     edges.(j) <= x < edges.(j+1) for its returned bin (the last bin
+     also owns hi). *)
+  QCheck.Test.make ~name:"index_of satisfies the half-open bin contract" ~count:500
+    QCheck.(float_range 0.2 1.)
+    (fun x ->
+      let h = hist () in
+      let j = Stats.Histogram.index_of h x in
+      let edge k = Stats.Histogram.lo h +. (float_of_int k *. Stats.Histogram.width h) in
+      edge j <= x && (x < edge (j + 1) || j = hist_m - 1))
+
+let test_histogram_clamped_counter () =
+  let h = hist () in
+  Stats.Histogram.add h 0.5;
+  Stats.Histogram.add h (-1.);
+  Stats.Histogram.add h 2.;
+  (* The range endpoints are in range, not clamps. *)
+  Stats.Histogram.add h 0.2;
+  Stats.Histogram.add h 1.;
+  Alcotest.(check int) "clamped counts only out-of-range samples" 2
+    (Stats.Histogram.clamped h);
+  Alcotest.(check int) "clamped samples still land in edge bins" 5
+    (Stats.Histogram.total h);
+  Alcotest.(check int) "add_index does not clamp" 2
+    (Stats.Histogram.add_index h 3;
+     Stats.Histogram.clamped h)
 
 let prop_histogram_values_increasing =
   QCheck.Test.make ~name:"value_of is strictly increasing" ~count:100
@@ -193,6 +224,7 @@ let qcheck_cases =
       prop_histogram_index_monotone;
       prop_histogram_interior_edges;
       prop_histogram_value_roundtrip;
+      prop_histogram_half_open_contract;
       prop_histogram_values_increasing;
     ]
 
@@ -210,6 +242,9 @@ let () =
           Alcotest.test_case "first bin" `Quick test_run_test_first_bin;
         ] );
       ( "histogram edges",
-        [ Alcotest.test_case "edge cases" `Quick test_histogram_edges ] );
+        [
+          Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+          Alcotest.test_case "clamped counter" `Quick test_histogram_clamped_counter;
+        ] );
       ("properties", qcheck_cases);
     ]

@@ -343,6 +343,61 @@ let test_online_scan_no_float_drift () =
   in
   Alcotest.(check bool) "evenly strided" true (strided ats)
 
+(* Regression: a window/interval quotient one ulp above its intended
+   integer (0.14 /. 0.02 = 7.0000000000000009) fed straight to [ceil]
+   produced an 8-record window — every window read one record too many
+   and the scan emitted one window too few.  The scan now snaps
+   near-integer quotients before rounding. *)
+let test_online_scan_quotient_snap () =
+  let n = 10 and interval = 0.02 in
+  let records =
+    Array.init n (fun i -> mk_record (interval *. float_of_int i) (Probe.Trace.Delay 0.05))
+  in
+  let trace = Probe.Trace.create ~records ~interval ~base_delay:0.05 ~hop_count:1 in
+  let window = 0.14 and stride = 0.06 in
+  (* The raw float walk the snap replaces really does overshoot. *)
+  Alcotest.(check int) "raw ceil overshoots the integer quotient" 8
+    (int_of_float (ceil (window /. interval)));
+  let samples = Dcl.Online.scan ~rng:(Stats.Rng.create 1) ~window ~stride trace in
+  (* 7-record windows striding by 3 records: starts at records 0 and 3.
+     With the 8-record bug only one window fit in the 10 records. *)
+  Alcotest.(check int) "window count" 2 (List.length samples);
+  match samples with
+  | first :: _ ->
+      Alcotest.(check (float 1e-9)) "first window covers exactly 7 records"
+        (interval *. 6.) first.Dcl.Online.at
+  | [] -> Alcotest.fail "no samples"
+
+(* The coverage contract: trailing records not filling a final window
+   are dropped, and the scan says how many through the tail metrics. *)
+let test_online_scan_tail_metrics () =
+  Obs.set_enabled true;
+  let g = Obs.Gauge.make "dcl_online_tail_records" in
+  let c = Obs.Counter.make "dcl_online_tail_records_total" in
+  let interval = 0.02 in
+  let mk n =
+    let records =
+      Array.init n (fun i -> mk_record (interval *. float_of_int i) (Probe.Trace.Delay 0.05))
+    in
+    Probe.Trace.create ~records ~interval ~base_delay:0.05 ~hop_count:1
+  in
+  let scan n =
+    ignore (Dcl.Online.scan ~rng:(Stats.Rng.create 1) ~window:0.14 ~stride:0.06 (mk n))
+  in
+  let before = Obs.Counter.value c in
+  (* n = 12: 7-record windows start at records 0 and 3 covering 0..9;
+     records 10 and 11 are the uncovered tail. *)
+  scan 12;
+  Alcotest.(check (float 0.)) "gauge holds the last scan's tail" 2. (Obs.Gauge.value g);
+  Alcotest.(check (float 0.)) "counter accumulates the tail" (before +. 2.)
+    (Obs.Counter.value c);
+  (* n = 10: exact coverage — the gauge drops back to zero and the
+     cumulative counter is untouched. *)
+  scan 10;
+  Alcotest.(check (float 0.)) "gauge resets on full coverage" 0. (Obs.Gauge.value g);
+  Alcotest.(check (float 0.)) "counter unchanged when tail is empty" (before +. 2.)
+    (Obs.Counter.value c)
+
 let test_online_scan_domains_deterministic () =
   let rng = Stats.Rng.create 21 in
   let n = 600 in
@@ -591,6 +646,8 @@ let () =
             test_online_conclusion_changed_events;
           Alcotest.test_case "invalid" `Quick test_online_invalid;
           Alcotest.test_case "no float drift" `Quick test_online_scan_no_float_drift;
+          Alcotest.test_case "quotient snap" `Quick test_online_scan_quotient_snap;
+          Alcotest.test_case "tail metrics" `Quick test_online_scan_tail_metrics;
           Alcotest.test_case "domains deterministic" `Quick
             test_online_scan_domains_deterministic;
         ] );

@@ -31,7 +31,11 @@ let test_r2_concurrency () =
   check_diags "sanctioned in pool.ml" []
     (lint ~path:"lib/stats/pool.ml" "let c = Atomic.make 0\n");
   check_diags "sanctioned under lib/obs/" []
-    (lint ~path:"lib/obs/obs.ml" "let c = Atomic.make 0\n")
+    (lint ~path:"lib/obs/obs.ml" "let c = Atomic.make 0\n");
+  check_diags "sanctioned in the sweep chunk driver" []
+    (lint ~path:"lib/em/em_sweep.ml" "let k = Domain.DLS.new_key (fun () -> 0)\n");
+  check_diags "other em modules are not a concurrency home" [ (1, "R2") ]
+    (lint ~path:"lib/em/em_kernel.ml" "let k = Domain.DLS.new_key (fun () -> 0)\n")
 
 let test_r3_float_cmp () =
   check_diags "= against a float literal" [ (1, "R3") ]
@@ -68,6 +72,36 @@ let test_r5_hot_alloc () =
     (lint "let f x =\n  (* lint: hot *) x :: []\n(* lint: end-hot *)\n");
   check_diags "array accessors stay allowed" []
     (lint "let f (a : float array) =\n  (* lint: hot *)\n  Array.get a 0\n(* lint: end-hot *)\n")
+
+let test_r5_bigarray () =
+  (* Load/store accessors — safe and unsafe alike — are fence-clean,
+     both through the full path and through a module alias. *)
+  check_diags "accessors inside the fence" []
+    (lint
+       "module Ba = Bigarray.Array1\n\
+        let f b =\n\
+        \  (* lint: hot *)\n\
+        \  Ba.unsafe_set b 0 (Bigarray.Array1.unsafe_get b 1 +. Ba.get b 2)\n\
+        \  (* lint: end-hot *)\n");
+  check_diags "Bigarray create inside the fence allocates" [ (3, "R5") ]
+    (lint
+       "let f () =\n\
+        \  (* lint: hot *)\n\
+        \  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 4\n\
+        \  (* lint: end-hot *)\n");
+  check_diags "aliased sub inside the fence allocates" [ (4, "R5") ]
+    (lint
+       "module Ba = Bigarray.Array1\n\
+        let f b n =\n\
+        \  (* lint: hot *)\n\
+        \  Ba.sub b 0 n\n\
+        \  (* lint: end-hot *)\n");
+  check_diags "unsafe access outside any fence" [ (2, "R5") ]
+    (lint "module Ba = Bigarray.Array1\nlet f b = Ba.unsafe_get b 0\n");
+  check_diags "safe access outside a fence is fine" []
+    (lint "module Ba = Bigarray.Array1\nlet f b = Ba.get b 0\n");
+  check_diags "non-Bigarray alias is not captured" []
+    (lint "module Ba = Stats.Matrix\nlet f b = Ba.unsafe_get b 0\n")
 
 let test_r6_mli () =
   check_diags "bare lib module" [ (1, "R6") ]
@@ -127,6 +161,7 @@ let () =
           Alcotest.test_case "R3 float comparison" `Quick test_r3_float_cmp;
           Alcotest.test_case "R4 io containment" `Quick test_r4_io;
           Alcotest.test_case "R5 hot-region allocation" `Quick test_r5_hot_alloc;
+          Alcotest.test_case "R5 Bigarray containment" `Quick test_r5_bigarray;
           Alcotest.test_case "R6 missing mli" `Quick test_r6_mli;
         ] );
       ( "suppression",

@@ -19,7 +19,9 @@
                               determinism silently dies.
    - R2 [domain-containment]  [Domain.*], [Mutex.*], [Condition.*],
                               [Atomic.*] only in [lib/stats/pool.ml],
-                              [lib/stats/par.ml] and [lib/obs/].
+                              [lib/stats/par.ml], [lib/em/em_sweep.ml]
+                              (the within-sweep chunk driver) and
+                              [lib/obs/].
    - R3 [float-cmp]           no [=] / [<>] / [compare] on float-typed
                               operands (syntactic float literals,
                               float-returning applications, registered
@@ -33,8 +35,17 @@
                               [(* lint: end-hot *)] fences, no
                               closure-allocating combinators
                               ([List.*], [Array.map]/[init]/..., any
-                              [Printf.*]/[Format.*]) and no list-cons
-                              allocation.
+                              [Printf.*]/[Format.*]), no list-cons
+                              allocation, and no allocating Bigarray
+                              members ([create]/[sub]/...; the
+                              load/store accessors are whitelisted).
+                              Dually, [unsafe_*] Bigarray accessors are
+                              confined TO the fences: bounds-unchecked
+                              access is only tolerated where the
+                              surrounding index arithmetic is audited.
+                              Top-level [module Ba = Bigarray.Array1]
+                              style aliases are resolved before the
+                              walk.
    - R6 [missing-mli]         every [lib/] module ships an interface.
 
    Any diagnostic can be suppressed for its own line or the next line
@@ -274,7 +285,7 @@ let float_cmp_home rel = rel = "lib/stats/float_cmp.ml"
 
 let concurrency_home rel =
   match rel with
-  | "lib/stats/pool.ml" | "lib/stats/par.ml" -> true
+  | "lib/stats/pool.ml" | "lib/stats/par.ml" | "lib/em/em_sweep.ml" -> true
   | _ -> ( match segments rel with "lib" :: "obs" :: _ -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
@@ -340,6 +351,50 @@ let allocating name =
       | "Array" -> not (List.mem rest array_access_whitelist)
       | _ -> false)
   | None -> name = "@" || name = "^"
+
+(* R5, Bigarray leg.  The EM hot state lives on [Bigarray.Array1]
+   buffers, so fences must admit the accessors that compile to plain
+   loads and stores — and nothing else: [create] maps fresh memory,
+   [sub]/[slice] allocate proxy records.  [unsafe_*] accessors have the
+   dual constraint: they skip bounds checks, so they are confined TO
+   the fences, where the index arithmetic is audited; an unsafe access
+   in ordinary code is a diagnostic even though it does not allocate. *)
+let bigarray_access_whitelist =
+  [ "get"; "set"; "unsafe_get"; "unsafe_set"; "dim"; "fill"; "blit"; "unsafe_fill"; "unsafe_blit" ]
+
+let bigarray_path path = path = "Bigarray" || has_prefix ~prefix:"Bigarray." path
+
+(* Member access through a [Bigarray] array-op submodule
+   ([Bigarray.Array1.get]) or a registered top-level alias
+   ([module Ba = Bigarray.Array1], so [Ba.get]).  Members of the bare
+   [Bigarray] module itself — the kind and layout values [float64],
+   [c_layout], ... — are plain constants and not array operations, so
+   they are deliberately not captured. *)
+let bigarray_member ~aliases name =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some i ->
+      let path = String.sub name 0 i in
+      let member = String.sub name (i + 1) (String.length name - i - 1) in
+      let qualifies =
+        has_prefix ~prefix:"Bigarray." path
+        || List.exists (fun a -> a = path || has_prefix ~prefix:(a ^ ".") path) aliases
+      in
+      if qualifies then Some member else None
+
+let bigarray_aliases str =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let module_binding self (mb : Parsetree.module_binding) =
+    (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some name, Parsetree.Pmod_ident { txt; _ } ->
+        if bigarray_path (ident_name txt) then acc := name :: !acc
+    | _ -> ());
+    default_iterator.module_binding self mb
+  in
+  let it = { default_iterator with module_binding } in
+  it.structure it str;
+  !acc
 
 (* R3: syntactic float-ness.  This is an approximation — the linter has
    no typer — but it is the approximation the contract asks for: float
@@ -415,6 +470,7 @@ type context = {
   x_file : string; (* path as reported in diagnostics *)
   x_rel : string; (* repo-relative path used for classification *)
   x_hot : (int * int) list;
+  mutable x_ba_aliases : string list; (* top-level aliases of Bigarray.* *)
   mutable x_diags : diag list;
 }
 
@@ -438,13 +494,26 @@ let check_ident ctx ~loc name =
   if concurrency_banned name && not (concurrency_home ctx.x_rel) then
     report ctx ~loc ~rule:"R2"
       (name
-     ^ " outside lib/stats/pool.ml, lib/stats/par.ml or lib/obs/; route parallelism through Stats.Pool");
+     ^ " outside lib/stats/pool.ml, lib/stats/par.ml, lib/em/em_sweep.ml or lib/obs/; route parallelism through Stats.Pool");
   if in_lib ctx.x_rel && io_banned name then
     report ctx ~loc ~rule:"R4"
       (name ^ " in library code; binaries own process control and stdout");
   if in_hot ctx line && allocating name then
     report ctx ~loc ~rule:"R5"
-      (name ^ " allocates inside a (* lint: hot *) region")
+      (name ^ " allocates inside a (* lint: hot *) region");
+  match bigarray_member ~aliases:ctx.x_ba_aliases name with
+  | None -> ()
+  | Some member ->
+      if in_hot ctx line then begin
+        if not (List.mem member bigarray_access_whitelist) then
+          report ctx ~loc ~rule:"R5"
+            (name
+           ^ " allocates inside a (* lint: hot *) region; only the load/store Bigarray accessors are fence-safe")
+      end
+      else if has_prefix ~prefix:"unsafe_" member then
+        report ctx ~loc ~rule:"R5"
+          (name
+         ^ " skips bounds checks outside a (* lint: hot *) fence; unsafe Bigarray access belongs inside an audited hot region")
 
 let comparison_ops = [ "=" ; "<>" ]
 let ordered_ops = [ "<"; "<="; ">"; ">=" ]
@@ -519,10 +588,12 @@ let lint_source ?(disk_path = "") ?mli_exists ~path src =
         | _ -> None)
       directives
   in
-  let ctx = { x_file = path; x_rel = rel; x_hot = hot; x_diags = [] } in
+  let ctx = { x_file = path; x_rel = rel; x_hot = hot; x_ba_aliases = []; x_diags = [] } in
   let parse_diags =
     try
-      walk_structure ctx (parse_structure ~file:path src);
+      let str = parse_structure ~file:path src in
+      ctx.x_ba_aliases <- bigarray_aliases str;
+      walk_structure ctx str;
       []
     with
     | Syntaxerr.Error _ -> [ mk ~file:path ~line:1 ~col:0 ~rule:"R0" "syntax error; cannot lint" ]
@@ -660,10 +731,12 @@ let usage =
       "";
       "rules:";
       "  R1/rng-containment     Random.* and wall-clock seeding only in lib/stats/rng.ml";
-      "  R2/domain-containment  Domain/Mutex/Condition/Atomic only in pool.ml, par.ml, lib/obs/";
+      "  R2/domain-containment  Domain/Mutex/Condition/Atomic only in pool.ml, par.ml,";
+      "                         em_sweep.ml, lib/obs/";
       "  R3/float-cmp           no =, <>, compare on floats; no hand-rolled abs_float epsilon";
       "  R4/io-containment      no exit / printf / prerr in lib/";
-      "  R5/hot-alloc           no allocating combinators inside (* lint: hot *) fences";
+      "  R5/hot-alloc           no allocating combinators or Bigarray create/sub inside";
+      "                         (* lint: hot *) fences; no unsafe Bigarray access outside them";
       "  R6/missing-mli         lib/ modules must ship a .mli";
       "";
       "suppress one site: (* lint: allow RULE reason *)  — reason is mandatory";
