@@ -76,7 +76,7 @@ type case_times = {
   sweep : (int * float) list;
 }
 
-let run_case ~smoke ~t ~n buf first =
+let run_case ~smoke ~assert_sweep_identity ~t ~n buf first =
   let m = 5 and restarts = 4 in
   let max_iter = if smoke then 5 else 15 in
   let obs = synth_obs ~seed:(0x5EED + t + n) ~n ~m ~t in
@@ -139,19 +139,35 @@ let run_case ~smoke ~t ~n buf first =
   let sweep_times =
     List.map
       (fun k ->
+        let policy = sweep_policy ~chunks:k ~domains:k in
         let (model_inline, _), _ =
           time_of (fun () -> fit_sweep (Some (sweep_policy ~chunks:k ~domains:1)))
         in
-        let (model_pool, _), pool_s =
-          time_of (fun () -> fit_sweep (Some (sweep_policy ~chunks:k ~domains:k)))
-        in
+        let (model_pool, _), pool_s = time_of (fun () -> fit_sweep (Some policy)) in
         if model_fingerprint model_inline <> model_fingerprint model_pool then begin
           Printf.eprintf
             "FATAL: chunked sweep (K=%d) pooled winner differs from inline (T=%d n=%d)\n"
             k t n;
           exit 1
         end;
-        (k, pool_s, model_fingerprint model_pool = model_fingerprint model_sweep_serial))
+        let same = model_fingerprint model_pool = model_fingerprint model_sweep_serial in
+        (* With one effective chunk the policy degenerates to the serial
+           sweep — there is no warm-up to change the float association —
+           so identity to the serial winner is contractual, not merely
+           expected.  --assert-sweep-identity turns that into a hard
+           failure. *)
+        if
+          assert_sweep_identity
+          && Em.Sweep.effective_chunks policy ~tt:t = 1
+          && not same
+        then begin
+          Printf.eprintf
+            "FATAL: single-effective-chunk sweep (K=%d) differs from the serial \
+             sweep (T=%d n=%d)\n"
+            k t n;
+          exit 1
+        end;
+        (k, pool_s, same))
       sweep_chunk_counts
   in
   let sweep_s k = match List.find (fun (k', _, _) -> k' = k) sweep_times with _, s, _ -> s in
@@ -235,6 +251,46 @@ let run_obs ~smoke =
   let obs_iters = t * stats.Mmhd.iterations * restarts in
   let disabled_per_obs_iter = alloc_disabled /. float_of_int obs_iters in
   let overhead = (enabled_s /. disabled_s) -. 1. in
+  (* --- warm-workspace reuse across sliding windows (the Online.scan
+     pattern: each domain keeps one workspace and every window's fit
+     reuses it).  The workspace only holds scaled forward/backward
+     state — layout, not statistics — so reuse is bit-identical to a
+     fresh workspace per window; asserted here, and the allocation
+     delta is the per-window saving the reuse buys. *)
+  let window = t / 4 in
+  let stride = window / 2 in
+  let n_windows = ((t - window) / stride) + 1 in
+  let em_fingerprint (model : Em.model) =
+    let h = ref 0L in
+    let mix x = h := Int64.add (Int64.mul !h 1000003L) (Int64.bits_of_float x) in
+    Array.iter mix model.Em.pi;
+    Array.iter mix model.Em.a;
+    Array.iter mix model.Em.c;
+    !h
+  in
+  let fit_windows ~fresh_ws =
+    let warm = Em.workspace () in
+    let h = ref 0L in
+    for w = 0 to n_windows - 1 do
+      let win = Array.sub obs (w * stride) window in
+      let t0 =
+        Mmhd.to_em (Mmhd.init_informed (Stats.Rng.create (1000 + w)) ~n ~m win)
+      in
+      let ws = if fresh_ws then Em.workspace () else warm in
+      let model, _ = Em.fit_from ~ws ~eps:1e-3 ~max_iter ~update_b:false t0 win in
+      h := Int64.add (Int64.mul !h 1000003L) (em_fingerprint model)
+    done;
+    !h
+  in
+  ignore (fit_windows ~fresh_ws:false);
+  let warm_fp, alloc_warm = alloc_of (fun () -> fit_windows ~fresh_ws:false) in
+  let fresh_fp, alloc_fresh = alloc_of (fun () -> fit_windows ~fresh_ws:true) in
+  if warm_fp <> fresh_fp then begin
+    Printf.eprintf
+      "FATAL: warm-workspace window fits differ from fresh-workspace fits\n";
+    exit 1
+  end;
+  let saved_per_window = (alloc_fresh -. alloc_warm) /. float_of_int n_windows in
   let buf = Buffer.create 1024 in
   Printf.bprintf buf
     "{\n  \"bench\": \"em_obs_overhead\",\n\
@@ -246,9 +302,15 @@ let run_obs ~smoke =
     \  \"disabled_alloc_bytes\": %.0f,\n\
     \  \"enabled_alloc_bytes\": %.0f,\n\
     \  \"disabled_alloc_bytes_per_obs_iter\": %.4f,\n\
-    \  \"note\": \"one serial MMHD fit timed with Obs collection off and on (min of %d repeats each); every instrumentation call is compiled in in both runs, the disabled run reduces each to a flag check. disabled_alloc_bytes_per_obs_iter is the steady-state allocation of the instrumented kernel with collection off and must stay at zero (the sub-byte slack absorbs Gc.allocated_bytes boxing its own result).\"\n}\n"
+    \  \"window_fits\": %d, \"window_len\": %d,\n\
+    \  \"warm_ws_alloc_bytes\": %.0f,\n\
+    \  \"fresh_ws_alloc_bytes\": %.0f,\n\
+    \  \"warm_ws_saved_bytes_per_window\": %.0f,\n\
+    \  \"warm_ws_identical_to_fresh\": true,\n\
+    \  \"note\": \"one serial MMHD fit timed with Obs collection off and on (min of %d repeats each); every instrumentation call is compiled in in both runs, the disabled run reduces each to a flag check. disabled_alloc_bytes_per_obs_iter is the steady-state allocation of the instrumented kernel with collection off and must stay at zero (the sub-byte slack absorbs Gc.allocated_bytes boxing its own result). the warm_ws_* fields measure the Online.scan sliding-window pattern: window_fits informed-init fits over a sliding window, once reusing one warm workspace (what scan's per-domain domain_ws gives every window) and once allocating a fresh workspace per window; the workspace holds scaled sweep state but no statistics, so the warm fits are asserted bit-identical to the fresh ones, and warm_ws_saved_bytes_per_window is the allocation the reuse avoids.\"\n}\n"
     t n m restarts max_iter stats.Mmhd.iterations disabled_s enabled_s overhead
-    alloc_disabled alloc_enabled disabled_per_obs_iter repeats;
+    alloc_disabled alloc_enabled disabled_per_obs_iter n_windows window
+    alloc_warm alloc_fresh saved_per_window repeats;
   let path = if smoke then "BENCH_obs.smoke.json" else "BENCH_obs.json" in
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -272,19 +334,25 @@ let run_obs ~smoke =
   end
 
 let () =
-  let smoke = ref false and obs_mode = ref false in
+  let smoke = ref false
+  and obs_mode = ref false
+  and assert_sweep_identity = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--smoke" -> smoke := true
         | "--obs" -> obs_mode := true
+        | "--assert-sweep-identity" -> assert_sweep_identity := true
         | _ ->
             Printf.eprintf
-              "bench_em: unknown argument %S\nusage: bench_em [--smoke] [--obs]\n" arg;
+              "bench_em: unknown argument %S\n\
+               usage: bench_em [--smoke] [--obs] [--assert-sweep-identity]\n"
+              arg;
             exit 2)
     Sys.argv;
   let smoke = !smoke in
+  let assert_sweep_identity = !assert_sweep_identity in
   if !obs_mode then begin
     run_obs ~smoke;
     exit 0
@@ -300,7 +368,7 @@ let () =
       List.iter
         (fun n ->
           Printf.eprintf "bench_em: T=%d n=%d...\n%!" t n;
-          times := run_case ~smoke ~t ~n cases !first :: !times;
+          times := run_case ~smoke ~assert_sweep_identity ~t ~n cases !first :: !times;
           first := false)
         ns)
     sizes;
@@ -330,7 +398,7 @@ let () =
     \  \"recommended_domain_count\": %d,\n\
     \  \"pool_speedup_by_domains\": {%s},\n\
     \  \"sweep_speedup_by_chunks\": {%s},\n\
-    \  \"note\": \"parallel4 races 4 EM restarts with spawn-per-call domains (the pre-pool path); pool2/pool columns run the same fit on the persistent domain pool. recommended_domain_count is the first measured domain count whose geometric-mean pooled speedup exceeds 1.05, or 1 if none does (e.g. on a single-core machine). sweep* columns run a single restart whose forward/backward/accumulate sweeps are split into K chunks on K pool domains (Em.Sweep); per K the pooled run is asserted bit-identical to the inline run, while sweep_winner_identical_to_serial reports whether the chunk warm-up also reproduced the serial-sweep winner bit-for-bit on this trace. f32_logl_rel_drift is the relative log-likelihood drift of the float32 workspace mode against float64 for one sweep. serial_alloc_bytes is the calling domain's Gc.allocated_bytes delta for one full fit (restarts included).\",\n\
+    \  \"note\": \"parallel4 races 4 EM restarts with spawn-per-call domains (the pre-pool path); pool2/pool columns run the same fit on the persistent domain pool. recommended_domain_count is the first measured domain count whose geometric-mean pooled speedup exceeds 1.05, or 1 if none does (e.g. on a single-core machine). sweep* columns run a single restart whose forward/backward/accumulate sweeps are split into K chunks on K pool domains (Em.Sweep); per K the pooled run is asserted bit-identical to the inline run, while sweep_winner_identical_to_serial reports whether the chunk warm-up also reproduced the serial-sweep winner bit-for-bit on this trace. a false there is expected, not a defect: each chunk after the first re-enters the forward recursion from a warm-up prefix, which associates the same float products differently than one uninterrupted sweep, and EM convergence can then settle on a bitwise-different (equally valid) winner; identity IS contractual whenever the policy degenerates to one effective chunk, and --assert-sweep-identity enforces exactly that case (see DESIGN.md, chunked-sweep section). f32_logl_rel_drift is the relative log-likelihood drift of the float32 workspace mode against float64 for one sweep. serial_alloc_bytes is the calling domain's Gc.allocated_bytes delta for one full fit (restarts included).\",\n\
     \  \"cases\": [\n"
     cores recommended
     (String.concat ", "

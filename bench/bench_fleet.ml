@@ -1,0 +1,220 @@
+(* Fleet benchmark: streaming monitoring throughput and the two
+   contracts behind it — pooled epoch determinism (serial tick must be
+   bit-identical to the pooled tick, transitions included) and the
+   incremental-vs-refit speedup (one online-EM iteration per epoch
+   instead of a full history refit); emitted as BENCH_fleet.json, or
+   BENCH_fleet.smoke.json with --smoke.
+
+   Schema is documented in DESIGN.md ("BENCH_fleet.json").  The bench
+   aborts (exit 1) if any pooled run diverges from the serial one, or
+   if the incremental path fails its speedup floor (>= 1x in smoke,
+   >= 5x in the full run). *)
+
+let time_of f =
+  let t0 = Obs.Span.now_ns () in
+  let r = f () in
+  (r, float_of_int (Obs.Span.now_ns () - t0) *. 1e-9)
+
+let conclusion_tag = function
+  | None -> "u"
+  | Some Dcl.Identify.Strongly_dominant -> "s"
+  | Some Dcl.Identify.Weakly_dominant -> "w"
+  | Some Dcl.Identify.No_dominant -> "n"
+
+(* One complete fleet run: seeded source, seeded scheduler, [epochs]
+   ticks.  The transition log captures the full operator-visible event
+   stream; determinism means fingerprint AND log match across domain
+   counts. *)
+let run_fleet ~domains ~paths ~epochs ~epoch_len ~seed =
+  let log = Buffer.create 256 in
+  let rng = Stats.Rng.create seed in
+  let src = Fleet.Source.synthetic ~rng ~paths () in
+  let config = Fleet.Path_state.config ~scheme:(Fleet.Source.scheme src) () in
+  let on_transition (tr : Fleet.Scheduler.transition) =
+    Printf.bprintf log "%d:%d:%s>%s;" tr.Fleet.Scheduler.epoch
+      tr.Fleet.Scheduler.path
+      (conclusion_tag tr.Fleet.Scheduler.was)
+      (conclusion_tag tr.Fleet.Scheduler.now)
+  in
+  let sched = Fleet.Scheduler.create ~domains ~on_transition ~rng ~paths config in
+  for _ = 1 to epochs do
+    for p = 0 to paths - 1 do
+      Fleet.Scheduler.push sched ~path:p
+        (Fleet.Source.pull src ~path:p ~len:epoch_len)
+    done;
+    ignore (Fleet.Scheduler.tick sched : int)
+  done;
+  (Fleet.Scheduler.fingerprint sched, Buffer.contents log)
+
+let run_determinism ~smoke buf =
+  let paths = if smoke then 64 else 256 in
+  let epochs = if smoke then 4 else 8 in
+  let epoch_len = 32 and seed = 0xF1EE7 in
+  let domain_counts = if smoke then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let fp_serial, log_serial = run_fleet ~domains:1 ~paths ~epochs ~epoch_len ~seed in
+  let identical =
+    List.for_all
+      (fun d ->
+        let fp, log = run_fleet ~domains:d ~paths ~epochs ~epoch_len ~seed in
+        if fp <> fp_serial || log <> log_serial then begin
+          Printf.eprintf
+            "FATAL: pooled fleet (%d domains) diverges from serial \
+             (fingerprint %s vs %s, logs %s)\n"
+            d fp fp_serial
+            (if log = log_serial then "identical" else "differ");
+          false
+        end
+        else true)
+      domain_counts
+  in
+  if not identical then exit 1;
+  Printf.bprintf buf
+    "  \"determinism\": {\"paths\": %d, \"epochs\": %d, \"epoch_len\": %d,\n\
+    \    \"domain_counts\": [%s], \"serial_fingerprint\": \"%s\",\n\
+    \    \"transitions_logged\": %d, \"serial_identical_to_pool\": true},\n"
+    paths epochs epoch_len
+    (String.concat ", " (List.map string_of_int domain_counts))
+    fp_serial
+    (List.length (String.split_on_char ';' log_serial) - 1);
+  Printf.eprintf "bench_fleet: determinism ok (%d paths, domains %s)\n%!" paths
+    (String.concat "/" (List.map string_of_int domain_counts))
+
+(* Incremental-vs-refit: the same pre-generated observation stream fed
+   once through the streaming scheduler (one online-EM iteration per
+   epoch) and once through the classical alternative — re-fit the MMHD
+   from scratch on the full history every epoch.  The refit arm skips
+   re-testing entirely, which only flatters it. *)
+let run_speedup ~smoke buf =
+  let paths = if smoke then 12 else 48 in
+  let epochs = if smoke then 5 else 10 in
+  let epoch_len = 32 in
+  let n = 2 and m = 5 in
+  let max_iter = if smoke then 10 else 25 in
+  let rng = Stats.Rng.create 0xBA7C4 in
+  let src = Fleet.Source.synthetic ~m ~rng ~paths () in
+  let batches = Array.make_matrix paths epochs [||] in
+  for p = 0 to paths - 1 do
+    for e = 0 to epochs - 1 do
+      batches.(p).(e) <- Fleet.Source.pull src ~path:p ~len:epoch_len
+    done
+  done;
+  let config = Fleet.Path_state.config ~n ~scheme:(Fleet.Source.scheme src) () in
+  let sched =
+    Fleet.Scheduler.create ~domains:1 ~rng:(Stats.Rng.create 42) ~paths config
+  in
+  let (), incremental_s =
+    time_of (fun () ->
+        for e = 0 to epochs - 1 do
+          for p = 0 to paths - 1 do
+            Fleet.Scheduler.push sched ~path:p batches.(p).(e)
+          done;
+          ignore (Fleet.Scheduler.tick sched : int)
+        done)
+  in
+  let histories = Array.make paths [||] in
+  let refit_rng = Stats.Rng.create 42 in
+  let (), refit_s =
+    time_of (fun () ->
+        for e = 0 to epochs - 1 do
+          for p = 0 to paths - 1 do
+            histories.(p) <- Array.append histories.(p) batches.(p).(e);
+            if Array.exists (fun o -> o <> None) histories.(p) then begin
+              let t0 = Mmhd.init_informed refit_rng ~n ~m histories.(p) in
+              ignore (Mmhd.fit_from ~eps:1e-3 ~max_iter t0 histories.(p))
+            end
+          done
+        done)
+  in
+  let speedup = refit_s /. incremental_s in
+  let floor = if smoke then 1. else 5. in
+  Printf.bprintf buf
+    "  \"incremental_vs_refit\": {\"paths\": %d, \"epochs\": %d, \"epoch_len\": %d,\n\
+    \    \"refit_max_iter\": %d, \"incremental_seconds\": %.6f,\n\
+    \    \"refit_seconds\": %.6f, \"speedup\": %.2f},\n"
+    paths epochs epoch_len max_iter incremental_s refit_s speedup;
+  Printf.eprintf "bench_fleet: incremental %.2fx vs per-epoch refit\n%!" speedup;
+  if speedup < floor then begin
+    Printf.eprintf
+      "FATAL: incremental speedup %.2fx below the %.0fx floor\n" speedup floor;
+    exit 1
+  end
+
+let run_scale ~smoke buf =
+  let paths = if smoke then 2_000 else 100_000 in
+  let epochs = 3 and epoch_len = 16 in
+  let rng = Stats.Rng.create 0x5CA1E in
+  let src = Fleet.Source.synthetic ~rng ~paths () in
+  let config = Fleet.Path_state.config ~scheme:(Fleet.Source.scheme src) () in
+  let sched = Fleet.Scheduler.create ~domains:1 ~rng ~paths config in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let tick_total = ref 0. and wall_total = ref 0. in
+  for _ = 1 to epochs do
+    let (), gen_s =
+      time_of (fun () ->
+          for p = 0 to paths - 1 do
+            Fleet.Scheduler.push sched ~path:p
+              (Fleet.Source.pull src ~path:p ~len:epoch_len)
+          done)
+    in
+    let _, tick_s = time_of (fun () -> Fleet.Scheduler.tick sched) in
+    tick_total := !tick_total +. tick_s;
+    wall_total := !wall_total +. gen_s +. tick_s
+  done;
+  let q p = Obs.Histogram.quantile Fleet.Scheduler.epoch_histogram p in
+  let p50 = q 0.5 and p95 = q 0.95 and p99 = q 0.99 in
+  Obs.set_enabled false;
+  let updates = float_of_int (paths * epochs) in
+  Printf.bprintf buf
+    "  \"scale\": {\"paths\": %d, \"epochs\": %d, \"epoch_len\": %d,\n\
+    \    \"tick_seconds_total\": %.4f, \"paths_per_s\": %.0f,\n\
+    \    \"end_to_end_paths_per_s\": %.0f,\n\
+    \    \"epoch_latency_p50\": %.4f, \"epoch_latency_p95\": %.4f,\n\
+    \    \"epoch_latency_p99\": %.4f},\n"
+    paths epochs epoch_len !tick_total (updates /. !tick_total)
+    (updates /. !wall_total) p50 p95 p99;
+  Printf.eprintf "bench_fleet: %d paths, %.0f path-updates/s in the tick\n%!"
+    paths (updates /. !tick_total)
+
+let () =
+  let smoke = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--smoke" -> smoke := true
+        | _ ->
+            Printf.eprintf
+              "bench_fleet: unknown argument %S\nusage: bench_fleet [--smoke]\n"
+              arg;
+            exit 2)
+    Sys.argv;
+  let smoke = !smoke in
+  (* Force real pool workers even on small CI machines, so the pooled
+     determinism runs genuinely interleave. *)
+  Stats.Pool.set_capacity (max 8 (Stats.Pool.size ()));
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"bench\": \"fleet\",\n  \"cores\": %d,\n"
+    (Stats.Pool.size ());
+  run_determinism ~smoke buf;
+  run_speedup ~smoke buf;
+  run_scale ~smoke buf;
+  Printf.bprintf buf
+    "  \"note\": \"determinism re-runs the same seeded fleet serially and on \
+     2/4/8 pool domains and requires bitwise-equal model fingerprints and \
+     transition logs. incremental_vs_refit feeds one pre-generated stream \
+     through the streaming scheduler (one online-EM iteration per epoch, \
+     re-tests included) and through per-epoch full-history refits \
+     (informed init, eps 1e-3, re-tests excluded); the speedup floor is 1x \
+     in smoke and 5x in the full run, and grows with history length since \
+     refit cost is O(history) per epoch. scale drives the full fleet for 3 \
+     epochs; paths_per_s counts scheduler updates only, end_to_end adds \
+     synthetic-source generation; epoch latency quantiles come from the \
+     dcl_fleet_epoch_seconds histogram, linearly interpolated within \
+     buckets.\"\n}\n";
+  let path = if smoke then "BENCH_fleet.smoke.json" else "BENCH_fleet.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.eprintf "bench_fleet: wrote %s\n%!" path

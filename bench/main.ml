@@ -390,7 +390,8 @@ let fig11 scale =
   let small = red_run ~label:"min_th = 1/20 of buffer" ~seed:33 (base 0.05) in
   let large = red_run ~label:"min_th = 1/2 of buffer" ~seed:34 (base 0.5) in
   let rejects = function
-    | Some r -> r.Dcl.Identify.wdcl.Dcl.Tests.verdict = Dcl.Tests.Reject
+    | Some (r : Dcl.Identify.result) ->
+        r.Dcl.Identify.wdcl.Dcl.Tests.verdict = Dcl.Tests.Reject
     | None -> false
   in
   claim "Fig 11: WDCL-Test rejects under RED for both thresholds"
@@ -441,7 +442,8 @@ let fig13 scale =
   let accept2 = internet_run scale Scenarios.Internet.Adsl_from_usevilla ~seed:7 in
   let reject = internet_run scale Scenarios.Internet.Adsl_from_snu ~seed:9 in
   let accepts = function
-    | Some (_, r) -> r.Dcl.Identify.wdcl.Dcl.Tests.verdict = Dcl.Tests.Accept
+    | Some (_, (r : Dcl.Identify.result)) ->
+        r.Dcl.Identify.wdcl.Dcl.Tests.verdict = Dcl.Tests.Accept
     | None -> false
   in
   claim "Fig 13a/b: UFPR and USevilla paths accept (single congested link)"

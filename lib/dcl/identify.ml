@@ -111,8 +111,18 @@ let fit_vqd ?(params = default_params) ~rng trace =
   let pmf, stats = model_pmf params ~rng symbols in
   (Vqd.of_pmf scheme pmf, stats)
 
-let run ?(params = default_params) ~rng trace =
-  let vqd, (stats : Em.fit_stats) = fit_vqd ~params ~rng trace in
+(* The back half of the pipeline — hypothesis tests plus the bound —
+   factored out of [run] so callers holding a VQD from another source
+   (notably the fleet layer's streaming sufficient statistics) can
+   re-test without refitting a trace. *)
+type verdicts = {
+  sdcl : Tests.outcome;
+  wdcl : Tests.outcome;
+  conclusion : conclusion;
+  bound : float option;
+}
+
+let conclude ?(params = default_params) vqd =
   let tests0 = Obs.Span.start () in
   let sdcl = Tests.sdcl ~tolerance:params.sdcl_tolerance vqd in
   let wdcl =
@@ -133,15 +143,20 @@ let run ?(params = default_params) ~rng trace =
     | No_dominant -> None
   in
   Obs.Span.stop h_bound bound0;
+  { sdcl; wdcl; conclusion; bound }
+
+let run ?(params = default_params) ~rng trace =
+  let vqd, (stats : Em.fit_stats) = fit_vqd ~params ~rng trace in
+  let v = conclude ~params vqd in
   Obs.Counter.incr m_runs;
   {
     params;
     scheme = vqd.Vqd.scheme;
     vqd;
-    sdcl;
-    wdcl;
-    conclusion;
-    bound;
+    sdcl = v.sdcl;
+    wdcl = v.wdcl;
+    conclusion = v.conclusion;
+    bound = v.bound;
     loss_rate = Probe.Trace.loss_rate trace;
     observations = Probe.Trace.length trace;
     em_iterations = stats.Em.iterations;
@@ -155,7 +170,7 @@ let conclusion_to_string = function
   | Weakly_dominant -> "weakly dominant congested link"
   | No_dominant -> "no dominant congested link"
 
-let pp_result ppf r =
+let pp_result ppf (r : result) =
   Format.fprintf ppf
     "@[<v>conclusion: %s@,SDCL-Test: %a@,WDCL-Test(beta=%.2f,eps=%.2f): %a@,"
     (conclusion_to_string r.conclusion) Tests.pp_outcome r.sdcl r.params.beta r.params.eps

@@ -68,6 +68,23 @@ val fit_vqd :
     by the figure benches that plot distributions without running the
     tests. *)
 
+type verdicts = {
+  sdcl : Tests.outcome;
+  wdcl : Tests.outcome;
+  conclusion : conclusion;
+  bound : float option;
+}
+
+val conclude : ?params:params -> Vqd.t -> verdicts
+(** The back half of the pipeline: run the SDCL and WDCL tests on an
+    already-obtained virtual queuing delay distribution and derive the
+    conclusion and bound.  Only the test parameters of [params]
+    ([sdcl_tolerance], [wdcl_tolerance], [beta], [eps]) are consulted.
+    [run] is [fit_vqd] followed by [conclude]; the fleet layer calls
+    this directly on distributions read off streaming sufficient
+    statistics ({!Em.Incremental.loss_mass}), where there is no trace
+    to refit. *)
+
 val run : ?params:params -> rng:Stats.Rng.t -> Probe.Trace.t -> result
 (** Full pipeline.  Raises [Invalid_argument] when the trace has no
     loss or no delay spread (identification needs both; see

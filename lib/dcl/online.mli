@@ -63,6 +63,16 @@ val scan :
     pool ({!Stats.Pool}) and the samples are identical to the serial
     run.
 
+    {b Warm workspaces.}  Every window's EM fits run on the evaluating
+    domain's persistent workspace ([Em.domain_ws], kept in
+    [Domain.DLS] and warm across pool jobs), so consecutive windows on
+    a domain reuse grown buffers instead of re-allocating them.  The
+    reuse is layout-only — a warm workspace holds no carried state, so
+    the fitted models are bit-identical to fresh-workspace fits; both
+    properties (identity asserted, bytes saved per window reported as
+    the [warm_ws_*] fields) are measured by [bench_em --obs] in
+    [BENCH_obs.json].
+
     [on_change] is called once per conclusion transition — each
     consecutive window pair whose conclusions differ — with the
     timestamp of the later window and the two conclusions.  The calls

@@ -221,6 +221,219 @@ let em_step ~(ws : workspace) ?(sweep = Sweep.serial) ~update_b (t : model) obs 
   in
   { t with pi = pi'; a = a'; b = b'; c = c' }
 
+(* Streaming EM over decayed sufficient statistics (the fleet layer's
+   per-path recursion).  A [stats] value accumulates the E-step
+   statistics of every appended batch, scaled by a forgetting factor
+   between batches; the M-step then re-estimates the model from the
+   decayed totals exactly as [em_step] does from one batch's totals.
+   [append] runs one serial forward–backward sweep over the new batch
+   only, so the per-epoch cost is O(batch), not O(history). *)
+module Incremental = struct
+  type stats = {
+    s : int;
+    m : int;
+    xi : float array; (* s*s decayed transition statistics *)
+    gamma_sum : float array; (* s, transition denominators *)
+    count_obs : float array; (* s*m *)
+    count_loss : float array; (* s*m *)
+    pi0 : float array; (* s, decayed batch-start posteriors *)
+    fend : float array; (* s, filtered distribution at the last instant *)
+    mutable primed : bool; (* [fend] holds a real distribution *)
+    mutable weight : float;
+    mutable log_likelihood : float;
+    mutable batches : int;
+  }
+
+  let create ~s ~m =
+    if s <= 0 || m <= 0 then
+      invalid_arg "Em.Incremental.create: dimensions must be positive";
+    {
+      s;
+      m;
+      xi = Array.make (s * s) 0.;
+      gamma_sum = Array.make s 0.;
+      count_obs = Array.make (s * m) 0.;
+      count_loss = Array.make (s * m) 0.;
+      pi0 = Array.make s 0.;
+      fend = Array.make s 0.;
+      primed = false;
+      weight = 0.;
+      log_likelihood = 0.;
+      batches = 0;
+    }
+
+  let reset st =
+    Array.fill st.xi 0 (st.s * st.s) 0.;
+    Array.fill st.gamma_sum 0 st.s 0.;
+    Array.fill st.count_obs 0 (st.s * st.m) 0.;
+    Array.fill st.count_loss 0 (st.s * st.m) 0.;
+    Array.fill st.pi0 0 st.s 0.;
+    Array.fill st.fend 0 st.s 0.;
+    st.primed <- false;
+    st.weight <- 0.;
+    st.log_likelihood <- 0.;
+    st.batches <- 0
+
+  let scale_into a lambda =
+    for i = 0 to Array.length a - 1 do
+      Array.unsafe_set a i (Array.unsafe_get a i *. lambda)
+    done
+
+  (* Multiplying by 1.0 is the bitwise identity, so [decay ~lambda:1.]
+     is exact and needs no float-equality guard. *)
+  let decay st ~lambda =
+    if lambda < 0. || lambda > 1. then
+      invalid_arg "Em.Incremental.decay: lambda must be in [0, 1]";
+    scale_into st.xi lambda;
+    scale_into st.gamma_sum lambda;
+    scale_into st.count_obs lambda;
+    scale_into st.count_loss lambda;
+    scale_into st.pi0 lambda;
+    st.weight <- st.weight *. lambda;
+    st.log_likelihood <- st.log_likelihood *. lambda
+
+  let dims_check name st (t : model) =
+    if t.s <> st.s || t.m <> st.m then
+      invalid_arg (name ^ ": model dimensions do not match the statistics")
+
+  let append ~(ws : workspace) ?(carry = true) st (t : model) obs =
+    dims_check "Em.Incremental.append" st t;
+    check_obs "Em.Incremental.append" obs;
+    let s = st.s and m = st.m in
+    let tt = Array.length obs in
+    (* Seed the batch from the carried filtered distribution propagated
+       one step through the current transitions: the previous batch
+       ended at instant T-1, this one starts at the next instant, so
+       pi_batch = A^T fend.  The boundary transition's expected counts
+       are not accumulated (the only cross-batch approximation; the
+       forward likelihood itself factorizes exactly). *)
+    let t =
+      if carry && st.primed then begin
+        let pi = Array.make s 0. in
+        for dst = 0 to s - 1 do
+          let acc = ref 0. in
+          for src = 0 to s - 1 do
+            acc := !acc +. (st.fend.(src) *. t.a.((src * s) + dst))
+          done;
+          pi.(dst) <- !acc
+        done;
+        { t with pi }
+      end
+      else t
+    in
+    let ll = run_sweep ~sweep:Sweep.serial ws t obs in
+    Kernel.clear_stats ws ~s ~m;
+    Kernel.accumulate_direct ws t ~t0:0 ~t1:tt ~tt;
+    for i = 0 to (s * s) - 1 do
+      st.xi.(i) <- st.xi.(i) +. Ba.get ws.xi i
+    done;
+    for i = 0 to s - 1 do
+      st.gamma_sum.(i) <- st.gamma_sum.(i) +. Ba.get ws.gamma_sum i
+    done;
+    for i = 0 to (s * m) - 1 do
+      st.count_obs.(i) <- st.count_obs.(i) +. Ba.get ws.count_obs i;
+      st.count_loss.(i) <- st.count_loss.(i) +. Ba.get ws.count_loss i
+    done;
+    (* Batch-start posterior (the [em_step] pi target), restricted to
+       the states active at the batch's first instant; and the filtered
+       end, the normalized alpha row of the last instant.  Only active
+       slots of an alpha row are written by the sweep, so both extracts
+       mask by the instant's active set. *)
+    let r0 = ws.cls.(0) in
+    let base0 = r0 * s in
+    for idx = 0 to ws.act_len.(r0) - 1 do
+      let state = ws.act.(base0 + idx) in
+      st.pi0.(state) <-
+        st.pi0.(state)
+        +. Float.max 0. (Ba.get ws.alpha state *. Ba.get ws.beta state)
+    done;
+    Array.fill st.fend 0 s 0.;
+    let rl = ws.cls.(tt - 1) in
+    let basel = rl * s and rowl = (tt - 1) * s in
+    for idx = 0 to ws.act_len.(rl) - 1 do
+      let state = ws.act.(basel + idx) in
+      st.fend.(state) <- Ba.get ws.alpha (rowl + state)
+    done;
+    st.primed <- true;
+    st.weight <- st.weight +. float_of_int tt;
+    st.log_likelihood <- st.log_likelihood +. ll;
+    st.batches <- st.batches + 1;
+    ll
+
+  (* Mirror of [em_step]'s M-step, reading the decayed accumulators:
+     with [lambda = 1] and a single appended batch the two produce
+     bit-identical models. *)
+  let m_step ?(update_b = false) st (t : model) =
+    dims_check "Em.Incremental.m_step" st t;
+    if st.batches = 0 then
+      invalid_arg "Em.Incremental.m_step: no appended batch";
+    let s = st.s and m = st.m in
+    let pi_sum = Array.fold_left ( +. ) 0. st.pi0 in
+    let pi' =
+      if pi_sum > 0. then Array.map (fun p -> p /. pi_sum) st.pi0
+      else Array.copy t.pi
+    in
+    let a' = Array.make (s * s) 0. in
+    for state = 0 to s - 1 do
+      let off = state * s in
+      let g = st.gamma_sum.(state) in
+      if g <= 0. then Array.blit t.a off a' off s
+      else begin
+        let inv = 1. /. g in
+        for k = 0 to s - 1 do
+          a'.(off + k) <- st.xi.(off + k) *. inv
+        done;
+        floor_normalize a' off s
+      end
+    done;
+    let b' =
+      if not update_b then t.b
+      else begin
+        let b' = Array.make (s * m) 0. in
+        for state = 0 to s - 1 do
+          let off = state * m in
+          let sum = ref 0. in
+          for j = 0 to m - 1 do
+            let v = st.count_obs.(off + j) +. st.count_loss.(off + j) in
+            b'.(off + j) <- v;
+            sum := !sum +. v
+          done;
+          if !sum <= 0. then Array.blit t.b off b' off m
+          else floor_normalize b' off m
+        done;
+        b'
+      end
+    in
+    let c' =
+      Array.init m (fun j ->
+          let lost = ref 0. and seen = ref 0. in
+          for state = 0 to s - 1 do
+            let l = st.count_loss.((state * m) + j) in
+            lost := !lost +. l;
+            seen := !seen +. st.count_obs.((state * m) + j) +. l
+          done;
+          if !seen <= 0. then t.c.(j) else clamp_c (!lost /. !seen))
+    in
+    { t with pi = pi'; a = a'; b = b'; c = c' }
+
+  let loss_mass st =
+    Array.init st.m (fun j ->
+        let acc = ref 0. in
+        for state = 0 to st.s - 1 do
+          acc := !acc +. st.count_loss.((state * st.m) + j)
+        done;
+        !acc)
+
+  let filtered_end st = Array.copy st.fend
+  let weight st = st.weight
+  let log_likelihood st = st.log_likelihood
+  let batches st = st.batches
+  let xi st = Array.copy st.xi
+  let gamma_sum st = Array.copy st.gamma_sum
+  let count_obs st = Array.copy st.count_obs
+  let count_loss st = Array.copy st.count_loss
+end
+
 let max_abs_diff u v =
   let d = ref 0. in
   Array.iteri

@@ -159,6 +159,93 @@ val em_step :
     normalization, [c] clamped to [1e-9, 1 - 1e-9]) so that a symbol's
     emission probability cannot collapse to exactly zero during EM. *)
 
+(** Streaming EM over decayed sufficient statistics — the per-path
+    recursion of the fleet layer ([lib/fleet]).  A {!Incremental.stats}
+    value holds the E-step accumulators (transition statistics, state
+    denominators, per-symbol observation and loss counts, batch-start
+    posteriors) of every observation batch appended so far, each
+    multiplied by a forgetting factor [lambda] per {!Incremental.decay};
+    {!Incremental.m_step} re-estimates a model from the decayed totals
+    exactly as {!em_step} does from a single batch.  One
+    [decay]/[append]/[m_step] round per epoch is one online-EM
+    iteration whose cost is O(batch), independent of the history
+    length. *)
+module Incremental : sig
+  type stats
+  (** Decayed sufficient-statistic accumulators for one monitored
+      sequence ([O(s^2 + s*m)] floats; no per-observation state). *)
+
+  val create : s:int -> m:int -> stats
+  (** Empty statistics for an [s]-state, [m]-symbol model.  Raises
+      [Invalid_argument] on non-positive dimensions. *)
+
+  val reset : stats -> unit
+  (** Zero every accumulator and drop the carried filtered
+      distribution (e.g. after a {!Zero_likelihood} recovery). *)
+
+  val decay : stats -> lambda:float -> unit
+  (** Multiply every accumulator (and the running weight and
+      log-likelihood) by [lambda] in [\[0, 1\]]; [lambda = 1] is the
+      bitwise identity.  Call once per epoch before {!append}: the
+      effective memory is a [1 / (1 - lambda)]-batch exponential
+      window. *)
+
+  val append :
+    ws:workspace -> ?carry:bool -> stats -> model -> observation array -> float
+  (** Run one serial forward–backward sweep of [model] over the batch
+      and add its E-step statistics to the accumulators; returns the
+      batch's log-likelihood.  With [carry] (the default) the sweep is
+      seeded from the previous batch's filtered end-distribution
+      propagated one step through the model's transitions, so the
+      forward likelihood factorizes across batches exactly
+      ([logL(b1 ++ b2) = append b1 + append b2] up to the association
+      of the final log sums); smoothing, however, is truncated at batch
+      boundaries and the boundary transition's expected counts are not
+      accumulated — the two approximations of the streaming recursion.
+      [carry:false] (or a first batch) seeds from [model.pi].
+      Raises [Invalid_argument] on an empty batch or a dimension
+      mismatch, {!Zero_likelihood} on an impossible observation (the
+      statistics are untouched in both cases). *)
+
+  val m_step : ?update_b:bool -> stats -> model -> model
+  (** Re-estimate the model from the decayed totals: the exact mirror
+      of {!em_step}'s M-step (same zero-row fallbacks to the current
+      parameters, same floors), so with [lambda = 1] and a single
+      appended batch the result is bit-identical to
+      [em_step model batch].  [update_b] defaults to [false] (the MMHD
+      case).  Raises [Invalid_argument] before the first {!append}. *)
+
+  val loss_mass : stats -> float array
+  (** Per-symbol virtual-delay mass of the lost probes,
+      [sum_st count_loss(st, j)] — the streaming analogue of the
+      Eq. (5) numerator.  Normalizing it yields the VQD estimate the
+      SDCL/WDCL tests consume ({!Dcl.Vqd.of_pmf}). *)
+
+  val filtered_end : stats -> float array
+  (** Copy of the filtered state distribution at the last appended
+      instant (all zeros before the first append). *)
+
+  val weight : stats -> float
+  (** Decayed total observation count — the effective sample size
+      behind the current statistics. *)
+
+  val log_likelihood : stats -> float
+  (** Decayed sum of per-batch log-likelihoods. *)
+
+  val batches : stats -> int
+  (** Number of batches appended since creation / {!reset}. *)
+
+  val xi : stats -> float array
+  (** Copies of the raw decayed accumulators, for tests and
+      introspection: transition statistics ([s*s]), transition
+      denominators ([s]), per-symbol observation and loss counts
+      ([s*m] each). *)
+
+  val gamma_sum : stats -> float array
+  val count_obs : stats -> float array
+  val count_loss : stats -> float array
+end
+
 val set_iteration_trace :
   (iteration:int -> log_likelihood:float -> unit) option -> unit
 (** Install (or remove, with [None]) a process-wide per-iteration hook:

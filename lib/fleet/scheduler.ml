@@ -1,0 +1,176 @@
+(* Epoch scheduler: batch every active path's pending observations and
+   fan the per-path updates (online-EM iteration + re-test) across the
+   persistent Stats.Pool, one item per path.
+
+   Determinism contract (DESIGN.md §11): each item touches only its own
+   path's state and the evaluating domain's cached workspace; every
+   path draws from its own RNG pre-split at creation; and conclusion
+   transitions are collected into per-item slots and emitted after the
+   pool drains, in ascending path index.  The pooled tick is therefore
+   bit-identical to the serial one — scheduling chooses which domain
+   runs a path, never what the path computes or the order observers
+   see results. *)
+
+let h_epoch =
+  Obs.Histogram.make ~help:"Wall time of one fleet epoch tick"
+    "dcl_fleet_epoch_seconds"
+
+let m_ticks = Obs.Counter.make ~help:"Fleet epoch ticks run" "dcl_fleet_ticks_total"
+
+let m_updates =
+  Obs.Counter.make ~help:"Per-path epoch updates performed"
+    "dcl_fleet_path_updates_total"
+
+let m_observations =
+  Obs.Counter.make ~help:"Observations consumed by fleet epoch updates"
+    "dcl_fleet_observations_total"
+
+let m_transitions =
+  Obs.Counter.make ~help:"Per-path conclusion transitions emitted"
+    "dcl_fleet_transitions_total"
+
+let g_paths = Obs.Gauge.make ~help:"Paths monitored by the fleet" "dcl_fleet_paths"
+
+let g_active =
+  Obs.Gauge.make ~help:"Paths with pending observations at the last tick"
+    "dcl_fleet_active_paths"
+
+type transition = {
+  path : int;
+  epoch : int;
+  was : Dcl.Identify.conclusion option;
+  now : Dcl.Identify.conclusion option;
+}
+
+type t = {
+  config : Path_state.config;
+  domains : int;
+  on_transition : (transition -> unit) option;
+  paths : Path_state.t array;
+  pending : Em.observation array list array; (* newest batch first *)
+  active : int array; (* scratch: indices updated this tick *)
+  slots : transition option array; (* scratch: per-item transition *)
+  mutable epoch : int;
+}
+
+(* Fixed small chunk: epoch items are cheap and unevenly costed (paths
+   without losses re-test trivially; fresh paths run the informed
+   initializer), so a small chunk bounds the straggler tail.  Chunking
+   never affects results. *)
+let pool_chunk = 64
+
+let create ?(domains = 1) ?on_transition ~rng ~paths config =
+  if paths <= 0 then invalid_arg "Fleet.Scheduler.create: paths must be positive";
+  if domains <= 0 then
+    invalid_arg "Fleet.Scheduler.create: domains must be positive";
+  Obs.Gauge.set g_paths (float_of_int paths);
+  {
+    config;
+    domains;
+    on_transition;
+    paths =
+      Array.init paths (fun _ -> Path_state.create config ~rng:(Stats.Rng.split rng));
+    pending = Array.make paths [];
+    active = Array.make paths 0;
+    slots = Array.make paths None;
+    epoch = 0;
+  }
+
+let path_count t = Array.length t.paths
+let epoch t = t.epoch
+
+let path t i =
+  if i < 0 || i >= Array.length t.paths then
+    invalid_arg "Fleet.Scheduler.path: index out of range";
+  t.paths.(i)
+
+let conclusion t i = Path_state.conclusion (path t i)
+
+let push t ~path batch =
+  if path < 0 || path >= Array.length t.paths then
+    invalid_arg "Fleet.Scheduler.push: path index out of range";
+  if Array.length batch > 0 then t.pending.(path) <- batch :: t.pending.(path)
+
+(* Concatenate a path's pending batches in arrival order.  The common
+   one-batch-per-epoch case reuses the pushed array. *)
+let drain_pending t pidx =
+  match t.pending.(pidx) with
+  | [] -> [||]
+  | [ b ] ->
+      t.pending.(pidx) <- [];
+      b
+  | newest_first ->
+      t.pending.(pidx) <- [];
+      Array.concat (List.rev newest_first)
+
+let tick t =
+  let s = Path_state.states t.config and m = t.config.Path_state.m in
+  let n_active = ref 0 in
+  for pidx = 0 to Array.length t.paths - 1 do
+    match t.pending.(pidx) with
+    | [] -> ()
+    | _ :: _ ->
+        t.active.(!n_active) <- pidx;
+        incr n_active
+  done;
+  let n = !n_active in
+  let t0 = Obs.Span.start () in
+  if n > 0 then
+    Stats.Pool.run ~chunk:pool_chunk ~participants:t.domains n (fun i ->
+        let pidx = t.active.(i) in
+        let p = t.paths.(pidx) in
+        let batch = drain_pending t pidx in
+        let was = Path_state.conclusion p in
+        let changed = Path_state.update ~ws:(Workspace_cache.get ~s ~m) p batch in
+        if Obs.enabled () then Obs.Counter.add m_observations (Array.length batch);
+        t.slots.(i) <-
+          (if changed then
+             Some { path = pidx; epoch = t.epoch; was; now = Path_state.conclusion p }
+           else None));
+  t.epoch <- t.epoch + 1;
+  (* Ascending-path-index emission, after the pool drains: the
+     operator-facing event order is a pure function of the inputs. *)
+  for i = 0 to n - 1 do
+    (match t.slots.(i) with
+    | None -> ()
+    | Some tr -> (
+        Obs.Counter.incr m_transitions;
+        match t.on_transition with Some f -> f tr | None -> ()));
+    t.slots.(i) <- None
+  done;
+  Obs.Span.stop h_epoch t0;
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_ticks;
+    Obs.Counter.add m_updates n;
+    Obs.Gauge.set g_active (float_of_int n)
+  end;
+  n
+
+let epoch_histogram = h_epoch
+
+let fingerprint t =
+  (* Order-sensitive fold over every path's model parameters and
+     conclusion: any bitwise divergence between two fleets (e.g. a
+     pooled vs a serial run) changes the fingerprint. *)
+  let h = ref 0L in
+  let mix bits = h := Int64.add (Int64.mul !h 1000003L) bits in
+  let mixf x = mix (Int64.bits_of_float x) in
+  let mixi i = mix (Int64.of_int i) in
+  Array.iter
+    (fun p ->
+      (match Path_state.model p with
+      | None -> mixi 0
+      | Some (model : Em.model) ->
+          mixi 1;
+          Array.iter mixf model.Em.pi;
+          Array.iter mixf model.Em.a;
+          Array.iter mixf model.Em.c);
+      mixi
+        (match Path_state.conclusion p with
+        | None -> 0
+        | Some Dcl.Identify.Strongly_dominant -> 1
+        | Some Dcl.Identify.Weakly_dominant -> 2
+        | Some Dcl.Identify.No_dominant -> 3);
+      mixf (Path_state.weight p))
+    t.paths;
+  Printf.sprintf "%016Lx" !h

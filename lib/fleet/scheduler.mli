@@ -1,0 +1,73 @@
+(** Fleet epoch scheduler: drive the streaming identification of many
+    concurrent paths over the persistent domain pool.
+
+    The driver {!push}es observation batches onto paths as they arrive
+    and calls {!tick} once per epoch.  A tick batches every active
+    path's pending observations and fans one update per path —
+    online-EM iteration plus SDCL/WDCL re-test ({!Path_state.update})
+    — across {!Stats.Pool}, then emits conclusion transitions.
+
+    {b Determinism contract.}  A pooled tick ([domains > 1]) is
+    bit-identical to the serial one: each item writes only its own
+    path's state and uses only the evaluating domain's cached
+    workspace ({!Workspace_cache}); each path draws from its own RNG
+    pre-split at {!create}; and transitions are buffered per item and
+    emitted after the pool drains in ascending path index, so the
+    event order observers see is a pure function of the pushed
+    observations.  The pool schedule chooses {e where} a path runs,
+    never what it computes. *)
+
+type transition = {
+  path : int;
+  epoch : int;  (** the tick (0-based) that produced the change *)
+  was : Dcl.Identify.conclusion option;
+  now : Dcl.Identify.conclusion option;
+}
+
+type t
+
+val create :
+  ?domains:int ->
+  ?on_transition:(transition -> unit) ->
+  rng:Stats.Rng.t ->
+  paths:int ->
+  Path_state.config ->
+  t
+(** A fleet of [paths] identical-config paths.  [domains] (default 1)
+    pool participants evaluate each tick.  [on_transition] is called
+    on the ticking domain, after the tick's updates complete, in
+    ascending path index.  Each path's RNG is split from [rng] at
+    creation, so equal seeds give bitwise-equal fleets regardless of
+    [domains]. *)
+
+val push : t -> path:int -> Em.observation array -> unit
+(** Queue a batch for a path (consumed, not copied — the caller must
+    not mutate it afterwards).  Empty batches are dropped.  Raises
+    [Invalid_argument] on an out-of-range index. *)
+
+val tick : t -> int
+(** Run one epoch over every path with pending observations; returns
+    how many paths were updated.  Ticks with nothing pending still
+    advance the epoch counter. *)
+
+val path_count : t -> int
+val epoch : t -> int
+(** Number of {!tick}s run so far. *)
+
+val path : t -> int -> Path_state.t
+(** The path's live state (read-only by convention; raises
+    [Invalid_argument] out of range). *)
+
+val conclusion : t -> int -> Dcl.Identify.conclusion option
+(** Shorthand for [Path_state.conclusion (path t i)]. *)
+
+val epoch_histogram : Obs.histogram
+(** The shared ["dcl_fleet_epoch_seconds"] tick-latency histogram
+    (populated when {!Obs} collection is enabled), exposed so benches
+    can read quantiles without re-registering the metric. *)
+
+val fingerprint : t -> string
+(** Order-sensitive hash over every path's model parameters,
+    conclusion and statistics weight; any bitwise divergence between
+    two fleets changes it.  Used by the determinism checks (serial
+    tick must equal pooled tick). *)

@@ -1,0 +1,31 @@
+(* Per-domain cache of EM workspaces, keyed by model dimensions.
+
+   The fleet's epoch updates fan path items across the persistent
+   Stats.Pool; every item needs an Em.workspace for its sweep.  One
+   workspace per path would hold 10^5 sets of sweep buffers; one per
+   domain per (s, m) shape holds a handful.  Keying by shape (rather
+   than sharing one workspace per domain like [Em.domain_ws]) matters
+   when a fleet mixes model configurations: [Em_kernel.reserve] resets
+   the time-axis buffers whenever [s] or [m] grows, so alternating
+   shapes through a single workspace would reallocate on every switch,
+   while per-shape workspaces stay warm.
+
+   Safety: a workspace must not be shared across concurrent sweeps.
+   Each cache is domain-local ([Domain.DLS]), each pool item runs on
+   exactly one domain, and the fleet scheduler's items never nest
+   pool-parallel sweeps, so a cached workspace is only ever used by
+   the domain that owns it. *)
+
+let key : (int * int, Em.workspace) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let get ~s ~m =
+  let tbl = Domain.DLS.get key in
+  match Hashtbl.find_opt tbl (s, m) with
+  | Some ws -> ws
+  | None ->
+      let ws = Em.workspace () in
+      Hashtbl.add tbl (s, m) ws;
+      ws
+
+let cached () = Hashtbl.length (Domain.DLS.get key)

@@ -1,0 +1,23 @@
+(** Per-domain cache of {!Em.workspace}s keyed by model dimensions
+    [(s, m)].
+
+    The fleet monitors up to 10^5 paths but runs their epoch sweeps on
+    a handful of pool domains; workspaces therefore live per
+    {e worker}, not per path.  Unlike {!Em.domain_ws} (one workspace
+    per domain), the cache keeps one workspace per model {e shape} per
+    domain, so fleets mixing configurations do not thrash
+    [Em_kernel.reserve]'s grow-only buffers by alternating dimensions
+    through a single workspace.
+
+    Memory: one entry holds O(batch * s) floats after its first sweep
+    — for the default MMHD (s = 10, m = 5) and 64-observation batches,
+    a few KiB per shape per domain. *)
+
+val get : s:int -> m:int -> Em.workspace
+(** The calling domain's workspace for [(s, m)], created on first use.
+    The workspace must only be used from the calling domain and not
+    across concurrent sweeps on it (the fleet scheduler's per-path
+    items satisfy both). *)
+
+val cached : unit -> int
+(** Number of distinct shapes cached by the calling domain. *)

@@ -199,7 +199,10 @@ let ensure_workers want =
   done;
   Obs.Gauge.set m_workers (float_of_int !spawned)
 
-let run ~participants n runit =
+let run ?chunk ~participants n runit =
+  (match chunk with
+  | Some c when c <= 0 -> invalid_arg "Pool.run: chunk must be positive"
+  | _ -> ());
   if n > 0 then
     if inside_job () then
       (* Nested submission from inside a pool job: run inline.  The
@@ -228,8 +231,16 @@ let run ~participants n runit =
       else begin
         (* Small chunks (a quarter of an even split) let finished
            domains steal remaining work from slow ones; for the common
-           restart-racing case (n = participants) the chunk is 1. *)
-        let chunk = max 1 (n / (participants * 4)) in
+           restart-racing case (n = participants) the chunk is 1.
+           Callers with many cheap skewed items (the fleet scheduler's
+           per-path epoch updates) override the split: a fixed small
+           chunk bounds the straggler tail without per-item queue
+           traffic. *)
+        let chunk =
+          match chunk with
+          | Some c -> min c n
+          | None -> max 1 (n / (participants * 4))
+        in
         let submitted_ns = if Obs.enabled () then Obs.Span.now_ns () else 0 in
         Obs.Counter.incr m_jobs;
         let j =

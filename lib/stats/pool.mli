@@ -23,7 +23,7 @@
     Most callers want {!Par.map_range}, the array-building façade over
     this module. *)
 
-val run : participants:int -> int -> (int -> unit) -> unit
+val run : ?chunk:int -> participants:int -> int -> (int -> unit) -> unit
 (** [run ~participants n f] evaluates [f 0 .. f (n - 1)], using up to
     [participants] concurrent domains (the caller plus at most
     [participants - 1] pool workers, further capped by the machine
@@ -31,7 +31,14 @@ val run : participants:int -> int -> (int -> unit) -> unit
     (single-core machine, or [participants <= 1]) the items run inline
     in the caller.  A nested [run] from inside an item also runs
     inline, so items may themselves use pool-backed operations safely.
-    Jobs from different domains are serialized, not interleaved. *)
+    Jobs from different domains are serialized, not interleaved.
+
+    [chunk] overrides the index-range chunk size pulled per queue
+    round-trip (default: a quarter of an even split, at least 1).  A
+    small fixed chunk bounds the straggler tail of jobs with many
+    cheap, unevenly-costed items — the fleet scheduler's shape — at
+    the price of more queue traffic.  Chunking never affects results,
+    only scheduling.  Raises [Invalid_argument] unless positive. *)
 
 val size : unit -> int
 (** [Domain.recommended_domain_count ()] (at least 1): the maximum

@@ -1,0 +1,4 @@
+(* Interface companion: keeps the sanctioned-home fixture clear of R6
+   (every lib/ module must ship a .mli). *)
+val key : (int, int) Hashtbl.t Domain.DLS.key
+val cache : unit -> (int, int) Hashtbl.t

@@ -1,0 +1,356 @@
+(* Tests for the fleet layer: incremental-EM equivalence with the batch
+   sweep, decay semantics, carry factorization, pooled epoch
+   determinism, transition emission, and the per-domain workspace
+   cache. *)
+
+(* Oversubscribe the pool so the multi-domain determinism tests spawn
+   real workers even on a single-core CI machine. *)
+let () = Stats.Pool.set_capacity 8
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_same_floats name a b = Alcotest.(check (array (float 0.))) name a b
+
+let mmhd_obs ~seed ~n ~m ~len =
+  let rng = Stats.Rng.create seed in
+  let truth = Mmhd.init_random rng ~n ~m ~loss_fraction:0.08 in
+  let obs, _ = Mmhd.simulate rng truth ~len in
+  obs.(0) <- Some 0;
+  obs.(1) <- None;
+  obs
+
+let informed ~seed ~n ~m obs =
+  Mmhd.to_em (Mmhd.init_informed (Stats.Rng.create seed) ~n ~m obs)
+
+(* --- incremental EM vs the batch sweep --------------------------------- *)
+
+(* One appended batch at lambda = 1 must reproduce the batch EM step:
+   same log-likelihood as the full forward pass, and an M-step equal to
+   em_step parameter-for-parameter.  The property quantifies over model
+   shape, batch length and seed. *)
+let prop_single_append_matches_em_step =
+  QCheck.Test.make ~name:"lambda=1 single append = batch em_step" ~count:60
+    QCheck.(triple (int_range 1 3) (int_range 2 5) (int_range 30 300))
+    (fun (n, m, len) ->
+      let obs = mmhd_obs ~seed:(n + (7 * m) + len) ~n ~m ~len in
+      let model = informed ~seed:5 ~n ~m obs in
+      let ws = Em.workspace () in
+      let stats = Em.Incremental.create ~s:(n * m) ~m in
+      let ll = Em.Incremental.append ~ws stats model obs in
+      let incr_model = Em.Incremental.m_step stats model in
+      let batch_model = Em.em_step ~ws ~update_b:false model obs in
+      let ll_batch = Em.log_likelihood ~ws model obs in
+      let eq = Stats.Float_cmp.approx_eq ~eps:1e-9 in
+      let arrays_eq a b =
+        Array.length a = Array.length b && Array.for_all2 eq a b
+      in
+      eq ll ll_batch
+      && arrays_eq incr_model.Em.pi batch_model.Em.pi
+      && arrays_eq incr_model.Em.a batch_model.Em.a
+      && arrays_eq incr_model.Em.c batch_model.Em.c)
+
+let test_single_append_bitwise () =
+  (* On one concrete case the equality is exact, not just within
+     tolerance: append accumulates the same kernel statistics em_step
+     consumes, and m_step mirrors its arithmetic. *)
+  let n = 2 and m = 4 in
+  let obs = mmhd_obs ~seed:3 ~n ~m ~len:400 in
+  let model = informed ~seed:9 ~n ~m obs in
+  let ws = Em.workspace () in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  let ll = Em.Incremental.append ~ws stats model obs in
+  let incr_model = Em.Incremental.m_step stats model in
+  let batch_model = Em.em_step ~ws ~update_b:false model obs in
+  check_float "log-likelihood" (Em.log_likelihood ~ws model obs) ll;
+  check_same_floats "pi" batch_model.Em.pi incr_model.Em.pi;
+  check_same_floats "a" batch_model.Em.a incr_model.Em.a;
+  check_same_floats "c" batch_model.Em.c incr_model.Em.c;
+  Alcotest.(check (array (float 0.)))
+    "b is shared, not copied" model.Em.b incr_model.Em.b
+
+let test_append_weight_and_counts () =
+  let n = 2 and m = 3 in
+  let obs = mmhd_obs ~seed:21 ~n ~m ~len:120 in
+  let model = informed ~seed:2 ~n ~m obs in
+  let ws = Em.workspace () in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  ignore (Em.Incremental.append ~ws stats model obs : float);
+  check_float "weight = batch length" 120. (Em.Incremental.weight stats);
+  Alcotest.(check int) "one batch" 1 (Em.Incremental.batches stats);
+  (* Posterior observation + loss mass accounts for every probe: each
+     time step contributes one unit of posterior mass. *)
+  let total =
+    Array.fold_left ( +. ) 0. (Em.Incremental.count_obs stats)
+    +. Array.fold_left ( +. ) 0. (Em.Incremental.count_loss stats)
+  in
+  Alcotest.(check (float 1e-6)) "posterior mass = T" 120. total
+
+(* --- decay ------------------------------------------------------------- *)
+
+let test_decay_scales_everything () =
+  let n = 2 and m = 3 in
+  let obs = mmhd_obs ~seed:31 ~n ~m ~len:150 in
+  let model = informed ~seed:4 ~n ~m obs in
+  let ws = Em.workspace () in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  ignore (Em.Incremental.append ~ws stats model obs : float);
+  let xi0 = Em.Incremental.xi stats in
+  let w0 = Em.Incremental.weight stats in
+  Em.Incremental.decay stats ~lambda:0.5 ;
+  check_float "weight halves" (w0 /. 2.) (Em.Incremental.weight stats);
+  Array.iteri
+    (fun i x -> check_float (Printf.sprintf "xi.(%d) halves" i) (xi0.(i) /. 2.) x)
+    (Em.Incremental.xi stats)
+
+let test_decay_identity_at_one () =
+  let n = 1 and m = 3 in
+  let obs = mmhd_obs ~seed:41 ~n ~m ~len:90 in
+  let model = informed ~seed:6 ~n ~m obs in
+  let ws = Em.workspace () in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  ignore (Em.Incremental.append ~ws stats model obs : float);
+  let xi0 = Em.Incremental.xi stats in
+  let co0 = Em.Incremental.count_obs stats in
+  Em.Incremental.decay stats ~lambda:1.;
+  check_same_floats "xi unchanged bitwise" xi0 (Em.Incremental.xi stats);
+  check_same_floats "count_obs unchanged bitwise" co0 (Em.Incremental.count_obs stats)
+
+let test_decay_validation () =
+  let stats = Em.Incremental.create ~s:4 ~m:2 in
+  Alcotest.check_raises "lambda > 1"
+    (Invalid_argument "Em.Incremental.decay: lambda must be in [0, 1]")
+    (fun () -> Em.Incremental.decay stats ~lambda:1.5)
+
+(* --- carry: the forward likelihood factorizes across batches ----------- *)
+
+let test_carry_loglik_additivity () =
+  let n = 2 and m = 4 in
+  let obs = mmhd_obs ~seed:51 ~n ~m ~len:300 in
+  let model = informed ~seed:8 ~n ~m obs in
+  let ws = Em.workspace () in
+  let ll_full = Em.log_likelihood ~ws model obs in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  let ll1 =
+    Em.Incremental.append ~ws stats model (Array.sub obs 0 150)
+  in
+  let ll2 =
+    Em.Incremental.append ~ws stats model (Array.sub obs 150 150)
+  in
+  (* Propagating the filtered end distribution one transition step into
+     the next batch's starting distribution makes the product of batch
+     likelihoods the full-sequence likelihood, up to summation order. *)
+  Alcotest.(check (float 1e-8)) "sum of batch logLs = full logL" ll_full (ll1 +. ll2)
+
+let test_carry_off_is_independent () =
+  let n = 2 and m = 4 in
+  let obs = mmhd_obs ~seed:61 ~n ~m ~len:200 in
+  let model = informed ~seed:8 ~n ~m obs in
+  let ws = Em.workspace () in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  ignore (Em.Incremental.append ~ws stats model (Array.sub obs 0 100) : float);
+  let ll2 = Em.Incremental.append ~ws ~carry:false stats model (Array.sub obs 100 100) in
+  let fresh = Em.Incremental.create ~s:(n * m) ~m in
+  let ll2' = Em.Incremental.append ~ws fresh model (Array.sub obs 100 100) in
+  check_float "carry:false restarts from the model prior" ll2' ll2
+
+let test_reset () =
+  let n = 1 and m = 2 in
+  let obs = mmhd_obs ~seed:71 ~n ~m ~len:60 in
+  let model = informed ~seed:3 ~n ~m obs in
+  let ws = Em.workspace () in
+  let stats = Em.Incremental.create ~s:(n * m) ~m in
+  ignore (Em.Incremental.append ~ws stats model obs : float);
+  Em.Incremental.reset stats;
+  check_float "weight zero" 0. (Em.Incremental.weight stats);
+  Alcotest.(check int) "batches zero" 0 (Em.Incremental.batches stats);
+  Alcotest.check_raises "m_step on empty stats"
+    (Invalid_argument "Em.Incremental.m_step: no appended batch") (fun () ->
+      ignore (Em.Incremental.m_step stats model))
+
+(* --- fleet: pooled epoch determinism ----------------------------------- *)
+
+let conclusion_tag = function
+  | None -> "u"
+  | Some Dcl.Identify.Strongly_dominant -> "s"
+  | Some Dcl.Identify.Weakly_dominant -> "w"
+  | Some Dcl.Identify.No_dominant -> "n"
+
+let run_fleet ~domains ~paths ~epochs ~epoch_len ~seed =
+  let log = Buffer.create 128 in
+  let rng = Stats.Rng.create seed in
+  let src = Fleet.Source.synthetic ~rng ~paths () in
+  let config = Fleet.Path_state.config ~scheme:(Fleet.Source.scheme src) () in
+  let on_transition (tr : Fleet.Scheduler.transition) =
+    Printf.bprintf log "%d:%d:%s>%s;" tr.Fleet.Scheduler.epoch
+      tr.Fleet.Scheduler.path
+      (conclusion_tag tr.Fleet.Scheduler.was)
+      (conclusion_tag tr.Fleet.Scheduler.now)
+  in
+  let sched = Fleet.Scheduler.create ~domains ~on_transition ~rng ~paths config in
+  for _ = 1 to epochs do
+    for p = 0 to paths - 1 do
+      Fleet.Scheduler.push sched ~path:p
+        (Fleet.Source.pull src ~path:p ~len:epoch_len)
+    done;
+    ignore (Fleet.Scheduler.tick sched : int)
+  done;
+  (sched, Fleet.Scheduler.fingerprint sched, Buffer.contents log)
+
+let test_pool_determinism () =
+  let paths = 48 and epochs = 4 and epoch_len = 24 and seed = 1234 in
+  let _, fp1, log1 = run_fleet ~domains:1 ~paths ~epochs ~epoch_len ~seed in
+  Alcotest.(check bool) "serial run emits transitions" true (String.length log1 > 0);
+  List.iter
+    (fun domains ->
+      let _, fp, log = run_fleet ~domains ~paths ~epochs ~epoch_len ~seed in
+      Alcotest.(check string)
+        (Printf.sprintf "fingerprint at %d domains" domains)
+        fp1 fp;
+      Alcotest.(check string)
+        (Printf.sprintf "transition log at %d domains" domains)
+        log1 log)
+    [ 2; 4; 8 ]
+
+let test_fleet_reruns_identically () =
+  (* Same seed, same everything: the whole fleet is a pure function of
+     its inputs even across separate constructions. *)
+  let run () = run_fleet ~domains:1 ~paths:16 ~epochs:3 ~epoch_len:32 ~seed:77 in
+  let _, fp1, log1 = run () and _, fp2, log2 = run () in
+  Alcotest.(check string) "fingerprint" fp1 fp2;
+  Alcotest.(check string) "log" log1 log2
+
+(* --- fleet: transition emission ---------------------------------------- *)
+
+let test_transitions_consistent () =
+  let paths = 32 and epochs = 6 in
+  let transitions = ref [] in
+  let rng = Stats.Rng.create 99 in
+  let src = Fleet.Source.synthetic ~rng ~paths () in
+  let config = Fleet.Path_state.config ~scheme:(Fleet.Source.scheme src) () in
+  let sched =
+    Fleet.Scheduler.create
+      ~on_transition:(fun tr -> transitions := tr :: !transitions)
+      ~rng ~paths config
+  in
+  for _ = 1 to epochs do
+    for p = 0 to paths - 1 do
+      Fleet.Scheduler.push sched ~path:p (Fleet.Source.pull src ~path:p ~len:48)
+    done;
+    ignore (Fleet.Scheduler.tick sched : int)
+  done;
+  let transitions = List.rev !transitions in
+  Alcotest.(check bool) "some transitions" true (transitions <> []);
+  (* Each transition is a real change; within an epoch they arrive in
+     ascending path order; per path, consecutive transitions chain. *)
+  let last_state = Hashtbl.create 16 and last_key = ref (-1, -1) in
+  List.iter
+    (fun (tr : Fleet.Scheduler.transition) ->
+      Alcotest.(check bool) "was <> now" true (tr.was <> tr.now);
+      let key = (tr.epoch, tr.path) in
+      Alcotest.(check bool) "ascending (epoch, path) order" true (key > !last_key);
+      last_key := key;
+      let prev =
+        Option.value ~default:None (Hashtbl.find_opt last_state tr.path)
+      in
+      Alcotest.(check bool) "chains from previous state" true (tr.was = prev);
+      Hashtbl.replace last_state tr.path tr.now)
+    transitions;
+  (* Final scheduler state agrees with the last emitted transition. *)
+  Hashtbl.iter
+    (fun path state ->
+      Alcotest.(check string)
+        (Printf.sprintf "path %d final state" path)
+        (conclusion_tag state)
+        (conclusion_tag (Fleet.Scheduler.conclusion sched path)))
+    last_state
+
+(* --- path state edge cases --------------------------------------------- *)
+
+let scheme5 = Dcl.Discretize.of_range ~m:5 ~lo:0.02 ~hi:0.07
+
+let test_path_state_gates () =
+  let config = Fleet.Path_state.config ~scheme:scheme5 () in
+  let p = Fleet.Path_state.create config ~rng:(Stats.Rng.create 1) in
+  let ws = Em.workspace () in
+  Alcotest.(check bool) "empty batch is a no-op" false
+    (Fleet.Path_state.update ~ws p [||]);
+  Alcotest.(check bool) "all-loss first batch is dropped" false
+    (Fleet.Path_state.update ~ws p (Array.make 8 None));
+  Alcotest.(check bool) "still no model" true (Fleet.Path_state.model p = None);
+  let batch = Array.init 64 (fun i -> if i mod 9 = 0 then None else Some (i mod 5)) in
+  ignore (Fleet.Path_state.update ~ws p batch : bool);
+  Alcotest.(check bool) "model after first mixed batch" true
+    (Fleet.Path_state.model p <> None);
+  Alcotest.(check int) "observations counted" 64 (Fleet.Path_state.observations p)
+
+let test_config_validation () =
+  Alcotest.check_raises "lambda out of range"
+    (Invalid_argument "Fleet.Path_state.config: lambda must be in [0, 1]")
+    (fun () ->
+      ignore (Fleet.Path_state.config ~lambda:1.2 ~scheme:scheme5 ()));
+  Alcotest.check_raises "n non-positive"
+    (Invalid_argument "Fleet.Path_state.config: n must be positive") (fun () ->
+      ignore (Fleet.Path_state.config ~n:0 ~scheme:scheme5 ()))
+
+(* --- workspace cache --------------------------------------------------- *)
+
+let test_workspace_cache () =
+  let a = Fleet.Workspace_cache.get ~s:10 ~m:5 in
+  let b = Fleet.Workspace_cache.get ~s:10 ~m:5 in
+  Alcotest.(check bool) "same shape shares the workspace" true (a == b);
+  let c = Fleet.Workspace_cache.get ~s:8 ~m:4 in
+  Alcotest.(check bool) "different shape gets its own" true (not (a == c));
+  Alcotest.(check bool) "cache counts both shapes" true
+    (Fleet.Workspace_cache.cached () >= 2)
+
+(* --- source ------------------------------------------------------------ *)
+
+let test_synthetic_source_deterministic () =
+  let mk () = Fleet.Source.synthetic ~rng:(Stats.Rng.create 5) ~paths:4 () in
+  let s1 = mk () and s2 = mk () in
+  let b1 = Fleet.Source.pull s1 ~path:2 ~len:50 in
+  let b2 = Fleet.Source.pull s2 ~path:2 ~len:50 in
+  Alcotest.(check bool) "seeded pulls replay bitwise" true (b1 = b2);
+  Alcotest.(check bool) "ground truth available" true
+    (Fleet.Source.ground_truth s1 0 <> None)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "incremental-em",
+        [
+          QCheck_alcotest.to_alcotest prop_single_append_matches_em_step;
+          Alcotest.test_case "single append bitwise" `Quick test_single_append_bitwise;
+          Alcotest.test_case "weight and counts" `Quick test_append_weight_and_counts;
+        ] );
+      ( "decay",
+        [
+          Alcotest.test_case "scales statistics" `Quick test_decay_scales_everything;
+          Alcotest.test_case "identity at 1" `Quick test_decay_identity_at_one;
+          Alcotest.test_case "validation" `Quick test_decay_validation;
+        ] );
+      ( "carry",
+        [
+          Alcotest.test_case "logL additivity" `Quick test_carry_loglik_additivity;
+          Alcotest.test_case "carry off" `Quick test_carry_off_is_independent;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "serial = pooled at 2/4/8" `Quick test_pool_determinism;
+          Alcotest.test_case "rerun identical" `Quick test_fleet_reruns_identically;
+        ] );
+      ( "transitions",
+        [ Alcotest.test_case "consistent stream" `Quick test_transitions_consistent ] );
+      ( "path-state",
+        [
+          Alcotest.test_case "gates" `Quick test_path_state_gates;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "workspace-cache",
+        [ Alcotest.test_case "keyed by shape" `Quick test_workspace_cache ] );
+      ( "source",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_synthetic_source_deterministic;
+        ] );
+    ]

@@ -117,6 +117,44 @@ let test_snapshot_determinism () =
   Alcotest.(check bool) "gauge line present" true
     (contains p1 "test_obs_snap_gauge 1.5")
 
+(* --- histogram quantiles ------------------------------------------------ *)
+
+let test_quantile_interpolation () =
+  Obs.set_enabled true;
+  let h = fresh_hist [| 1.; 2.; 4. |] in
+  (* 4 observations in (1, 2], 4 in (2, 4]: the cumulative counts pin
+     the quartiles to linear interpolation within those buckets. *)
+  for _ = 1 to 4 do
+    Obs.Histogram.observe h 1.5
+  done;
+  for _ = 1 to 4 do
+    Obs.Histogram.observe h 3.
+  done;
+  Alcotest.(check (float 1e-9)) "median at the bucket boundary" 2.
+    (Obs.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p25 mid-first-occupied-bucket" 1.5
+    (Obs.Histogram.quantile h 0.25);
+  Alcotest.(check (float 1e-9)) "p75 mid-second-occupied-bucket" 3.
+    (Obs.Histogram.quantile h 0.75);
+  Alcotest.(check (float 1e-9)) "q=1 is the top boundary" 4.
+    (Obs.Histogram.quantile h 1.);
+  Alcotest.(check (float 1e-9)) "q=0 is the bucket floor" 1.
+    (Obs.Histogram.quantile h 0.)
+
+let test_quantile_overflow_and_empty () =
+  Obs.set_enabled true;
+  let h = fresh_hist [| 1.; 2. |] in
+  Alcotest.(check bool) "empty histogram -> nan" true
+    (Float.is_nan (Obs.Histogram.quantile h 0.5));
+  Obs.Histogram.observe h 10.;
+  (* All mass in the overflow bucket: every quantile reports the top
+     finite boundary (the histogram cannot resolve beyond it). *)
+  Alcotest.(check (float 1e-9)) "overflow clamps to top boundary" 2.
+    (Obs.Histogram.quantile h 0.5);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Obs.Histogram.quantile: q outside [0, 1]") (fun () ->
+      ignore (Obs.Histogram.quantile h 1.5))
+
 (* --- disabled path ------------------------------------------------------ *)
 
 let test_disabled_span_allocates_nothing () =
@@ -157,6 +195,10 @@ let () =
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
           Alcotest.test_case "snapshot determinism" `Quick
             test_snapshot_determinism;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_interpolation;
+          Alcotest.test_case "quantile overflow and empty" `Quick
+            test_quantile_overflow_and_empty;
           Alcotest.test_case "disabled span allocates nothing" `Quick
             test_disabled_span_allocates_nothing;
         ] );

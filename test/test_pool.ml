@@ -120,6 +120,29 @@ let test_nested_map_range_runs_inline () =
     (Array.init 8 (fun i -> (5 * i) + 10))
     outer
 
+(* --- explicit chunk override ------------------------------------------- *)
+
+let test_chunk_override_complete_and_exact =
+  (* Any positive chunk size (including sizes larger than the range)
+     must still run every item exactly once. *)
+  QCheck.Test.make ~name:"chunked run covers every item once" ~count:100
+    QCheck.(triple (int_bound 150) (int_range 1 200) (int_range 1 4))
+    (fun (n, chunk, domains) ->
+      let hits = Array.make (max n 1) 0 in
+      Stats.Pool.run ~chunk ~participants:domains n (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Array.for_all (fun h -> h = 1) (Array.sub hits 0 n))
+
+let test_chunk_rejects_nonpositive () =
+  let reject c =
+    Alcotest.check_raises
+      (Printf.sprintf "chunk %d" c)
+      (Invalid_argument "Pool.run: chunk must be positive")
+      (fun () -> Stats.Pool.run ~chunk:c ~participants:2 4 ignore)
+  in
+  reject 0;
+  reject (-3)
+
 let test_set_capacity_rejects_nonpositive () =
   let reject c =
     Alcotest.check_raises
@@ -155,6 +178,12 @@ let () =
             test_warm_workspaces_not_contaminated;
           Alcotest.test_case "nested map_range runs inline" `Quick
             test_nested_map_range_runs_inline;
+        ] );
+      ( "chunk",
+        [
+          qtest test_chunk_override_complete_and_exact;
+          Alcotest.test_case "chunk rejects non-positive" `Quick
+            test_chunk_rejects_nonpositive;
         ] );
       ( "capacity",
         [

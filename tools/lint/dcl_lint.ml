@@ -20,8 +20,9 @@
    - R2 [domain-containment]  [Domain.*], [Mutex.*], [Condition.*],
                               [Atomic.*] only in [lib/stats/pool.ml],
                               [lib/stats/par.ml], [lib/em/em_sweep.ml]
-                              (the within-sweep chunk driver) and
-                              [lib/obs/].
+                              (the within-sweep chunk driver),
+                              [lib/obs/] and [lib/fleet/] (per-domain
+                              workspace caching + epoch fan-out).
    - R3 [float-cmp]           no [=] / [<>] / [compare] on float-typed
                               operands (syntactic float literals,
                               float-returning applications, registered
@@ -286,7 +287,14 @@ let float_cmp_home rel = rel = "lib/stats/float_cmp.ml"
 let concurrency_home rel =
   match rel with
   | "lib/stats/pool.ml" | "lib/stats/par.ml" | "lib/em/em_sweep.ml" -> true
-  | _ -> ( match segments rel with "lib" :: "obs" :: _ -> true | _ -> false)
+  | _ -> (
+      match segments rel with
+      | "lib" :: "obs" :: _ -> true
+      (* The fleet layer owns per-domain workspace caching (Domain.DLS)
+         and pool fan-out, so it is a legitimate home for domain
+         primitives. *)
+      | "lib" :: "fleet" :: _ -> true
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* AST rules. *)
@@ -494,7 +502,7 @@ let check_ident ctx ~loc name =
   if concurrency_banned name && not (concurrency_home ctx.x_rel) then
     report ctx ~loc ~rule:"R2"
       (name
-     ^ " outside lib/stats/pool.ml, lib/stats/par.ml, lib/em/em_sweep.ml or lib/obs/; route parallelism through Stats.Pool");
+     ^ " outside lib/stats/pool.ml, lib/stats/par.ml, lib/em/em_sweep.ml, lib/obs/ or lib/fleet/; route parallelism through Stats.Pool");
   if in_lib ctx.x_rel && io_banned name then
     report ctx ~loc ~rule:"R4"
       (name ^ " in library code; binaries own process control and stdout");
@@ -732,7 +740,7 @@ let usage =
       "rules:";
       "  R1/rng-containment     Random.* and wall-clock seeding only in lib/stats/rng.ml";
       "  R2/domain-containment  Domain/Mutex/Condition/Atomic only in pool.ml, par.ml,";
-      "                         em_sweep.ml, lib/obs/";
+      "                         em_sweep.ml, lib/obs/, lib/fleet/";
       "  R3/float-cmp           no =, <>, compare on floats; no hand-rolled abs_float epsilon";
       "  R4/io-containment      no exit / printf / prerr in lib/";
       "  R5/hot-alloc           no allocating combinators or Bigarray create/sub inside";
