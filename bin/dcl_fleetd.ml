@@ -5,9 +5,75 @@
 
      dcl-fleetd --paths 100000 --epochs 20
      dcl-fleetd --source probe.trace --paths 1000 --lambda 0.95
-     dcl-fleetd --source sim --paths 500 --domains 4 --metrics - *)
+     dcl-fleetd --source sim --paths 500 --domains 4 --metrics -
+     dcl-fleetd --paths 100000 --gate --congested-fraction 0.1 *)
 
 open Cmdliner
+
+(* --- validated argument converters ---------------------------------
+
+   Out-of-range values are rejected at the cmdliner layer (exit code
+   124 with a usage message) instead of surfacing later as an
+   [Invalid_argument] backtrace from the library or, worse, a
+   mysterious "no such file" from a typo'd --source. *)
+
+let int_at_least floor =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    | Some v when v < floor ->
+        Error (`Msg (Printf.sprintf "%d is below the minimum of %d" v floor))
+    | Some v -> Ok v
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_int = int_at_least 1
+
+let float_range ~lo_exclusive ~lo ~hi ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v ->
+        if Float.is_nan v then Error (`Msg (Printf.sprintf "%s cannot be NaN" what))
+        else if
+          (if lo_exclusive then Stats.Float_cmp.leq v lo
+           else Stats.Float_cmp.lt v lo)
+          || Stats.Float_cmp.gt v hi
+        then
+          Error
+            (`Msg
+               (Printf.sprintf "%g is outside %c%g, %g] for %s" v
+                  (if lo_exclusive then '(' else '[')
+                  lo hi what))
+        else Ok v
+  in
+  Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+
+let nonneg_float ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v ->
+        if Float.is_nan v || Stats.Float_cmp.lt v 0. then
+          Error (`Msg (Printf.sprintf "%s must be non-negative, got %s" what s))
+        else Ok v
+  in
+  Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+
+let source_conv =
+  let parse s =
+    match s with
+    | "synth" | "sim" -> Ok s
+    | file when Sys.file_exists file -> Ok file
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown source %S: expected 'synth', 'sim', or the path of an \
+                 existing probe trace file"
+                s))
+  in
+  Arg.conv ~docv:"SRC" (parse, Format.pp_print_string)
 
 let build_source source rng ~paths ~m ~congested_fraction ~seed =
   match source with
@@ -29,7 +95,7 @@ let conclusion_name = function
   | Some Dcl.Identify.No_dominant -> "no-dominant"
 
 let run paths epochs epoch_len lambda n m domains source congested_fraction seed
-    verbose metrics =
+    gate gate_loss gate_drift gate_h gate_demote verbose metrics =
   Obs_cli.with_metrics metrics @@ fun () ->
   let rng = Stats.Rng.create seed in
   let src = build_source source rng ~paths ~m ~congested_fraction ~seed in
@@ -45,7 +111,16 @@ let run paths epochs epoch_len lambda n m domains source congested_fraction seed
         (conclusion_name tr.Fleet.Scheduler.was)
         (conclusion_name tr.Fleet.Scheduler.now)
   in
-  let sched = Fleet.Scheduler.create ~domains ~on_transition ~rng ~paths config in
+  let gate =
+    if gate then
+      Some
+        (Sketch.Gate.config ~loss_threshold:gate_loss ~drift_threshold:gate_drift
+           ~promote_after:gate_h ~demote_after:gate_demote ())
+    else None
+  in
+  let sched =
+    Fleet.Scheduler.create ~domains ~on_transition ?gate ~rng ~paths config
+  in
   let start = Obs.Span.now_ns () in
   for _ = 1 to epochs do
     for p = 0 to paths - 1 do
@@ -72,61 +147,86 @@ let run paths epochs epoch_len lambda n m domains source congested_fraction seed
       | None -> ())
     [ "strongly-dominant"; "weakly-dominant"; "no-dominant"; "untested" ];
   Printf.printf "transitions: %d, model resets: %d\n" !transitions !resets;
-  (* Against synthetic ground truth, score the paths that reached a
-     verdict: a dominant-template path should test (strongly or
-     weakly) dominant. *)
+  (match Fleet.Scheduler.gate_stats sched with
+  | None -> ()
+  | Some gs ->
+      Printf.printf
+        "gate: %d promoted (%d promotions, %d demotions), %d observations \
+         absorbed sketch-only\n"
+        gs.Fleet.Scheduler.promoted gs.Fleet.Scheduler.promotions
+        gs.Fleet.Scheduler.demotions gs.Fleet.Scheduler.sketch_only_observations);
+  (* Against synthetic ground truth, score agreement over decided
+     paths and recall over the truly congested ones — the number the
+     gate must not cost. *)
   (match Fleet.Source.ground_truth src 0 with
   | None -> ()
   | Some _ ->
       let agree = ref 0 and decided = ref 0 in
+      let dominant = ref 0 and recalled = ref 0 in
       for p = 0 to paths - 1 do
-        match (Fleet.Scheduler.conclusion sched p, Fleet.Source.ground_truth src p) with
+        (match (Fleet.Scheduler.conclusion sched p, Fleet.Source.ground_truth src p) with
         | Some concl, Some truth ->
             incr decided;
             if (concl <> Dcl.Identify.No_dominant) = truth then incr agree
+        | _ -> ());
+        match Fleet.Source.ground_truth src p with
+        | Some true ->
+            incr dominant;
+            (match Fleet.Scheduler.conclusion sched p with
+            | Some Dcl.Identify.Strongly_dominant
+            | Some Dcl.Identify.Weakly_dominant ->
+                incr recalled
+            | _ -> ())
         | _ -> ()
       done;
       if !decided > 0 then
         Printf.printf "ground truth agreement: %d/%d (%.1f%%)\n" !agree !decided
-          (100. *. float_of_int !agree /. float_of_int !decided));
+          (100. *. float_of_int !agree /. float_of_int !decided);
+      if !dominant > 0 then
+        Printf.printf "dominant-path recall: %d/%d (%.1f%%)\n" !recalled !dominant
+          (100. *. float_of_int !recalled /. float_of_int !dominant));
   Printf.printf "%.3f s wall, %.0f path-updates/s\n" elapsed
     (float_of_int (paths * epochs) /. elapsed);
   0
 
 let paths_arg =
   Arg.(
-    value & opt int 1000
+    value & opt positive_int 1000
     & info [ "paths" ] ~docv:"N" ~doc:"Number of concurrently monitored paths.")
 
 let epochs_arg =
-  Arg.(value & opt int 20 & info [ "epochs" ] ~docv:"N" ~doc:"Number of epoch ticks to run.")
+  Arg.(
+    value & opt positive_int 20
+    & info [ "epochs" ] ~docv:"N" ~doc:"Number of epoch ticks to run.")
 
 let epoch_arg =
   Arg.(
-    value & opt int 16
+    value & opt positive_int 16
     & info [ "epoch" ] ~docv:"OBS"
-        ~doc:"Observations appended to each path per epoch tick.")
+        ~doc:"Observations appended to each path per epoch tick (at least 1).")
 
 let lambda_arg =
   Arg.(
-    value & opt float 0.9
+    value
+    & opt (float_range ~lo_exclusive:true ~lo:0. ~hi:1. ~what:"--lambda") 0.9
     & info [ "lambda" ] ~docv:"L"
         ~doc:
           "Forgetting factor applied to each path's sufficient statistics every \
-           epoch; 1.0 never forgets.")
+           epoch, in (0, 1]; 1.0 never forgets.")
 
 let n_arg =
   Arg.(
-    value & opt int 2
+    value & opt positive_int 2
     & info [ "n"; "hidden-states" ] ~docv:"N" ~doc:"Hidden states of the per-path MMHD.")
 
 let m_arg =
   Arg.(
-    value & opt int 5 & info [ "m"; "symbols" ] ~docv:"M" ~doc:"Number of delay symbols.")
+    value & opt (int_at_least 3) 5
+    & info [ "m"; "symbols" ] ~docv:"M" ~doc:"Number of delay symbols (at least 3).")
 
 let domains_arg =
   Arg.(
-    value & opt int 1
+    value & opt positive_int 1
     & info [ "domains" ] ~docv:"N"
         ~doc:
           "Pool domains updating paths in parallel; results are bit-identical \
@@ -134,7 +234,7 @@ let domains_arg =
 
 let source_arg =
   Arg.(
-    value & opt string "synth"
+    value & opt source_conv "synth"
     & info [ "source" ] ~docv:"SRC"
         ~doc:
           "Observation source: $(b,synth) (shared ground-truth templates), \
@@ -143,12 +243,55 @@ let source_arg =
 
 let congested_arg =
   Arg.(
-    value & opt float 0.3
+    value
+    & opt
+        (float_range ~lo_exclusive:false ~lo:0. ~hi:1.
+           ~what:"--congested-fraction")
+        0.3
     & info [ "congested-fraction" ] ~docv:"F"
-        ~doc:"Fraction of synthetic templates with a dominant congested link.")
+        ~doc:
+          "Fraction of synthetic templates with a dominant congested link, in \
+           [0, 1].")
 
 let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let gate_arg =
+  Arg.(
+    value & flag
+    & info [ "gate" ]
+        ~doc:
+          "Enable the sketch triage front end: quiet paths are tracked only by \
+           O(1) streaming estimators and full per-path inference runs only on \
+           paths the gate promotes.")
+
+let gate_loss_arg =
+  Arg.(
+    value & opt (nonneg_float ~what:"--gate-loss") 0.2
+    & info [ "gate-loss" ] ~docv:"F"
+        ~doc:"Loss-EWMA promotion threshold (fraction of probes lost per epoch).")
+
+let gate_drift_arg =
+  Arg.(
+    value & opt (nonneg_float ~what:"--gate-drift") 0.75
+    & info [ "gate-drift" ] ~docv:"F"
+        ~doc:
+          "Delay-quantile-drift promotion threshold: elevation of the tracked \
+           quantile above the propagation floor, in [0, 1].")
+
+let gate_h_arg =
+  Arg.(
+    value & opt positive_int 2
+    & info [ "gate-h" ] ~docv:"H"
+        ~doc:"Consecutive suspect epochs required before promotion (hysteresis).")
+
+let gate_demote_arg =
+  Arg.(
+    value & opt positive_int 4
+    & info [ "gate-demote" ] ~docv:"D"
+        ~doc:
+          "Consecutive calm, no-dominant-concluded epochs required before a \
+           promoted path demotes back to sketch-only tracking.")
 
 let verbose_arg =
   Arg.(
@@ -161,7 +304,8 @@ let cmd =
     (Cmd.info "dcl-fleetd" ~doc)
     Term.(
       const run $ paths_arg $ epochs_arg $ epoch_arg $ lambda_arg $ n_arg $ m_arg
-      $ domains_arg $ source_arg $ congested_arg $ seed_arg $ verbose_arg
-      $ Obs_cli.metrics_arg)
+      $ domains_arg $ source_arg $ congested_arg $ seed_arg $ gate_arg
+      $ gate_loss_arg $ gate_drift_arg $ gate_h_arg $ gate_demote_arg
+      $ verbose_arg $ Obs_cli.metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

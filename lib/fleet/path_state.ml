@@ -82,6 +82,17 @@ let weight t = Em.Incremental.weight t.stats
 let last_log_likelihood t = t.last_log_likelihood
 let stats t = t.stats
 
+(* Catch-up decay for a path whose epochs went by without updates (a
+   demoted path re-entering full inference): one multiplication by
+   lambda^k stands in for the k per-epoch decays it missed, so its
+   decayed statistics are warm but correctly aged.  A path with no
+   appended batch yet has nothing to age. *)
+let coast t ~factor =
+  if Stats.Float_cmp.lt factor 0. || Stats.Float_cmp.gt factor 1. then
+    invalid_arg "Fleet.Path_state.coast: factor must be in [0, 1]";
+  if Em.Incremental.batches t.stats > 0 then
+    Em.Incremental.decay t.stats ~lambda:factor
+
 let vqd t =
   let mass = Em.Incremental.loss_mass t.stats in
   let total = Array.fold_left ( +. ) 0. mass in

@@ -65,6 +65,15 @@ val update : ws:Em.workspace -> t -> Em.observation array -> bool
     instead of propagating.  [ws] is the calling domain's workspace
     ({!Workspace_cache.get}). *)
 
+val coast : t -> factor:float -> unit
+(** Apply the decay the path missed while it was not being updated
+    (e.g. demoted to sketch-only tracking): multiply the sufficient
+    statistics by [factor] (= [lambda^k] for [k] skipped epochs, via
+    {!Sketch.Estimators.Decay_table}), so re-promotion resumes from
+    warm but correctly aged statistics.  A no-op before the first
+    appended batch.  Raises [Invalid_argument] unless [factor] is in
+    [\[0, 1\]]. *)
+
 val conclusion : t -> Dcl.Identify.conclusion option
 (** [None] until the test gates are first met (or after a reset). *)
 

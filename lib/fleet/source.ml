@@ -119,25 +119,33 @@ let draw_row rng row ~off ~len =
    with Exit -> ());
   !k
 
+(* How many of [templates] generators are congested: the nearest
+   integer to the requested fraction, computed once.  The old per-index
+   predicate [float_of_int i +. 0.5 < fraction *. float_of_int n]
+   re-ran a raw float comparison against a computed product for every
+   template and could misround at representable boundaries (the shape
+   lint R3 bans elsewhere); the count is the single boundary decision,
+   so it goes through the sanctioned rounding home. *)
+let congested_templates ~templates ~fraction =
+  Stats.Float_cmp.round_to_int (fraction *. float_of_int templates)
+
 let synthetic ?(templates = 8) ?(congested_fraction = 0.3) ?(m = 5) ~rng ~paths
     () =
   if paths <= 0 then invalid_arg "Fleet.Source.synthetic: paths must be positive";
   if templates <= 0 then
     invalid_arg "Fleet.Source.synthetic: templates must be positive";
   if m < 3 then invalid_arg "Fleet.Source.synthetic: m must be at least 3";
-  if congested_fraction < 0. || congested_fraction > 1. then
+  if Stats.Float_cmp.lt congested_fraction 0.
+     || Stats.Float_cmp.gt congested_fraction 1. then
     invalid_arg "Fleet.Source.synthetic: congested_fraction outside [0, 1]";
   (* 10 ms symbol bins over a 20 ms propagation delay: arbitrary but
      physically plausible; the symbols are what matter. *)
   let scheme =
     Dcl.Discretize.of_range ~m ~lo:0.02 ~hi:(0.02 +. (0.01 *. float_of_int m))
   in
+  let congested = congested_templates ~templates ~fraction:congested_fraction in
   let tpls =
-    Array.init templates (fun i ->
-        let dominant =
-          float_of_int i +. 0.5 < congested_fraction *. float_of_int templates
-        in
-        make_template rng ~m ~dominant)
+    Array.init templates (fun i -> make_template rng ~m ~dominant:(i < congested))
   in
   let assign = Array.make paths 0 in
   let states = Array.make paths 0 in

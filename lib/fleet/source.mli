@@ -28,6 +28,13 @@ val ground_truth : t -> int -> bool option
 (** Whether the path's generator is a dominant-congestion template —
     [None] when the source has no ground truth (trace replay). *)
 
+val congested_templates : templates:int -> fraction:float -> int
+(** Number of congested generators a [fraction] requests out of
+    [templates]: [round (fraction * templates)] through
+    {!Stats.Float_cmp.round_to_int}, the single boundary decision
+    behind {!synthetic}'s template split (exposed for property
+    tests). *)
+
 val synthetic :
   ?templates:int ->
   ?congested_fraction:float ->

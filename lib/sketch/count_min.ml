@@ -1,0 +1,74 @@
+(* Count-min sketch over integer keys (Cormode & Muthukrishnan):
+   [rows] hash rows of [width] counters; an update adds to one counter
+   per row, a query takes the minimum over the rows.  Collisions only
+   ever inflate a cell, so the estimate never falls below the true
+   count — the overestimation-only guarantee the fleet gate leans on
+   (a zero estimate proves a loss-free window, so masking the loss
+   signal with it can never hide a path that really lost probes).
+
+   Counters are plain ints: the sketch is updated from the driver
+   domain at push time, never from pool workers, so it needs no atomic
+   story.  [halve] ages the whole table by floor division; because
+   [floor ((a + b) / 2) >= floor (a / 2) + floor (b / 2)], a halved
+   cell still dominates the sum of its keys' individually halved
+   counts, preserving the overestimation bound against the equally
+   decayed true counts. *)
+
+type t = {
+  rows : int;
+  width : int; (* power of two *)
+  mask : int;
+  counts : int array; (* rows * width, row-major *)
+  seeds : int64 array; (* per-row hash seed *)
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+(* SplitMix64 finalizer: full-avalanche mixing of key + row seed, the
+   same generator family as Stats.Rng, so row hashes are pairwise
+   independent for all practical purposes. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?(rows = 4) ~width ~seed () =
+  if rows <= 0 then invalid_arg "Sketch.Count_min.create: rows must be positive";
+  if width <= 0 then invalid_arg "Sketch.Count_min.create: width must be positive";
+  let width = next_pow2 width 1 in
+  let rng = Stats.Rng.create seed in
+  {
+    rows;
+    width;
+    mask = width - 1;
+    counts = Array.make (rows * width) 0;
+    seeds = Array.init rows (fun _ -> Stats.Rng.bits64 rng);
+  }
+
+let rows t = t.rows
+let width t = t.width
+
+let slot t row key =
+  Int64.to_int (mix (Int64.add (Int64.of_int key) t.seeds.(row))) land t.mask
+
+let add t key n =
+  if n < 0 then invalid_arg "Sketch.Count_min.add: count must be non-negative";
+  for r = 0 to t.rows - 1 do
+    let i = (r * t.width) + slot t r key in
+    t.counts.(i) <- t.counts.(i) + n
+  done
+
+let query t key =
+  let best = ref max_int in
+  for r = 0 to t.rows - 1 do
+    let c = t.counts.((r * t.width) + slot t r key) in
+    if c < !best then best := c
+  done;
+  !best
+
+let halve t =
+  for i = 0 to Array.length t.counts - 1 do
+    t.counts.(i) <- t.counts.(i) asr 1
+  done
+
+let clear t = Array.fill t.counts 0 (Array.length t.counts) 0

@@ -1,0 +1,49 @@
+(** Count-min sketch over integer keys — sublinear-memory frequency
+    estimation for the fleet's probe-loss stream.
+
+    [rows] hash rows of [width] counters (width rounded up to a power
+    of two); {!add} increments one counter per row, {!query} takes the
+    minimum.  Collisions only inflate cells, so for any key
+
+    {v true count <= query <= true count + noise v}
+
+    — the classic overestimation-only guarantee.  The fleet gate uses
+    the lower side: a zero estimate {e proves} the key saw no events in
+    the (decayed) window, so gating a promotion signal on
+    [query > 0] can never suppress a path that really lost probes.
+
+    The sketch is single-writer by design: the fleet updates it from
+    the driver domain at push time, in ascending path order, which
+    keeps gated fleets bit-reproducible.  It must not be written from
+    pool workers. *)
+
+type t
+
+val create : ?rows:int -> width:int -> seed:int -> unit -> t
+(** [rows] (default 4) independent hash rows of [width] counters
+    (rounded up to a power of two).  [seed] derives the per-row hash
+    seeds deterministically — equal seeds give equal sketches.  Raises
+    [Invalid_argument] on non-positive dimensions. *)
+
+val add : t -> int -> int -> unit
+(** [add t key n] adds [n >= 0] events for [key].  Raises
+    [Invalid_argument] on a negative count. *)
+
+val query : t -> int -> int
+(** Upper bound on the number of events added for [key] since creation
+    (scaled down by any intervening {!halve}s); never below the equally
+    decayed true count. *)
+
+val halve : t -> unit
+(** Age every counter by floor division by two.  Called once per epoch
+    this turns the totals into an exponentially decayed window while
+    preserving the overestimation bound against the equally halved true
+    counts ([floor ((a+b)/2) >= floor (a/2) + floor (b/2)]). *)
+
+val clear : t -> unit
+(** Zero every counter. *)
+
+val rows : t -> int
+
+val width : t -> int
+(** The effective width after rounding up to a power of two. *)

@@ -38,3 +38,10 @@ val geq : ?slack:float -> float -> float -> bool
 val gt : ?slack:float -> float -> float -> bool
 val leq : ?slack:float -> float -> float -> bool
 val lt : ?slack:float -> float -> float -> bool
+
+val round_to_int : float -> int
+(** Nearest integer (ties away from zero, [Float.round]) as an [int] —
+    the sanctioned home for deriving counts from fractions
+    ([round (fraction * total)]), where a raw [<] against an index
+    misrounds at representability boundaries such as [0.3 *. 8.].
+    Raises [Invalid_argument] on NaN or values outside [int] range. *)

@@ -1,0 +1,7 @@
+(* lint-fixture: lib/sketch/front.ml *)
+(* The sketch triage layer sits on the fleet's push path and is a
+   sanctioned concurrency home alongside lib/fleet/: per-domain
+   scratch for the estimators may live in Domain.DLS, so none of
+   these produce R2 diagnostics. *)
+let key = Domain.DLS.new_key (fun () -> Array.make 4 0)
+let scratch () = Domain.DLS.get key

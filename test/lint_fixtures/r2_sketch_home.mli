@@ -1,0 +1,4 @@
+(* Interface companion: keeps the sanctioned-home fixture clear of R6
+   (every lib/ module must ship a .mli). *)
+val key : int array Domain.DLS.key
+val scratch : unit -> int array

@@ -174,7 +174,7 @@ let conclusion_tag = function
   | Some Dcl.Identify.Weakly_dominant -> "w"
   | Some Dcl.Identify.No_dominant -> "n"
 
-let run_fleet ~domains ~paths ~epochs ~epoch_len ~seed =
+let run_fleet ?gate ~domains ~paths ~epochs ~epoch_len ~seed () =
   let log = Buffer.create 128 in
   let rng = Stats.Rng.create seed in
   let src = Fleet.Source.synthetic ~rng ~paths () in
@@ -185,7 +185,9 @@ let run_fleet ~domains ~paths ~epochs ~epoch_len ~seed =
       (conclusion_tag tr.Fleet.Scheduler.was)
       (conclusion_tag tr.Fleet.Scheduler.now)
   in
-  let sched = Fleet.Scheduler.create ~domains ~on_transition ~rng ~paths config in
+  let sched =
+    Fleet.Scheduler.create ~domains ~on_transition ?gate ~rng ~paths config
+  in
   for _ = 1 to epochs do
     for p = 0 to paths - 1 do
       Fleet.Scheduler.push sched ~path:p
@@ -197,11 +199,11 @@ let run_fleet ~domains ~paths ~epochs ~epoch_len ~seed =
 
 let test_pool_determinism () =
   let paths = 48 and epochs = 4 and epoch_len = 24 and seed = 1234 in
-  let _, fp1, log1 = run_fleet ~domains:1 ~paths ~epochs ~epoch_len ~seed in
+  let _, fp1, log1 = run_fleet ~domains:1 ~paths ~epochs ~epoch_len ~seed () in
   Alcotest.(check bool) "serial run emits transitions" true (String.length log1 > 0);
   List.iter
     (fun domains ->
-      let _, fp, log = run_fleet ~domains ~paths ~epochs ~epoch_len ~seed in
+      let _, fp, log = run_fleet ~domains ~paths ~epochs ~epoch_len ~seed () in
       Alcotest.(check string)
         (Printf.sprintf "fingerprint at %d domains" domains)
         fp1 fp;
@@ -210,10 +212,37 @@ let test_pool_determinism () =
         log1 log)
     [ 2; 4; 8 ]
 
+let test_gated_pool_determinism () =
+  (* The gated fingerprint also folds the sketch/gate state, so this
+     checks the whole triage front end is driver-side and pure. *)
+  let gate () = Sketch.Gate.config ~loss_threshold:0.05 ~promote_after:1 () in
+  let paths = 48 and epochs = 4 and epoch_len = 24 and seed = 1234 in
+  let sched, fp1, log1 =
+    run_fleet ~gate:(gate ()) ~domains:1 ~paths ~epochs ~epoch_len ~seed ()
+  in
+  Alcotest.(check bool) "gated fleet promotes some paths" true
+    (Fleet.Scheduler.promoted_count sched > 0);
+  Alcotest.(check bool) "and keeps some quiet" true
+    (Fleet.Scheduler.promoted_count sched < paths);
+  List.iter
+    (fun domains ->
+      let _, fp, log =
+        run_fleet ~gate:(gate ()) ~domains ~paths ~epochs ~epoch_len ~seed ()
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "gated fingerprint at %d domains" domains)
+        fp1 fp;
+      Alcotest.(check string)
+        (Printf.sprintf "gated transition log at %d domains" domains)
+        log1 log)
+    [ 2; 4; 8 ]
+
 let test_fleet_reruns_identically () =
   (* Same seed, same everything: the whole fleet is a pure function of
      its inputs even across separate constructions. *)
-  let run () = run_fleet ~domains:1 ~paths:16 ~epochs:3 ~epoch_len:32 ~seed:77 in
+  let run () =
+    run_fleet ~domains:1 ~paths:16 ~epochs:3 ~epoch_len:32 ~seed:77 ()
+  in
   let _, fp1, log1 = run () and _, fp2, log2 = run () in
   Alcotest.(check string) "fingerprint" fp1 fp2;
   Alcotest.(check string) "log" log1 log2
@@ -291,6 +320,126 @@ let test_config_validation () =
     (Invalid_argument "Fleet.Path_state.config: n must be positive") (fun () ->
       ignore (Fleet.Path_state.config ~n:0 ~scheme:scheme5 ()))
 
+let test_path_state_coast () =
+  let config = Fleet.Path_state.config ~scheme:scheme5 () in
+  let p = Fleet.Path_state.create config ~rng:(Stats.Rng.create 2) in
+  (* Coasting an empty path is a no-op, not an error. *)
+  Fleet.Path_state.coast p ~factor:0.5;
+  check_float "still empty" 0. (Fleet.Path_state.weight p);
+  let ws = Em.workspace () in
+  let batch = Array.init 64 (fun i -> if i mod 9 = 0 then None else Some (i mod 5)) in
+  ignore (Fleet.Path_state.update ~ws p batch : bool);
+  let w0 = Fleet.Path_state.weight p in
+  Fleet.Path_state.coast p ~factor:0.5;
+  check_float "weight ages by the factor" (w0 /. 2.) (Fleet.Path_state.weight p);
+  Alcotest.check_raises "factor out of range"
+    (Invalid_argument "Fleet.Path_state.coast: factor must be in [0, 1]")
+    (fun () -> Fleet.Path_state.coast p ~factor:1.5)
+
+(* --- sketch gating ------------------------------------------------------ *)
+
+(* Hand-built epochs so the gate's inputs are exact.  A hot batch loses
+   a third of its probes and concentrates delays at the top symbol
+   (loss EWMA ~0.33 >= 0.2 and drift ~1 >= 0.75: suspect on both
+   signals); a cold batch is loss-free at the bottom symbols (loss 0,
+   drift <= 0.25: calm under the 0.8 margin). *)
+let hot_batch len = Array.init len (fun i -> if i mod 3 = 0 then None else Some 4)
+let cold_batch len = Array.init len (fun i -> Some (i mod 2))
+
+let gated_sched ?(gate = Sketch.Gate.config ()) ~paths () =
+  let config = Fleet.Path_state.config ~scheme:scheme5 () in
+  Fleet.Scheduler.create ~gate ~rng:(Stats.Rng.create 3) ~paths config
+
+let test_gate_promotes_congested_within_h () =
+  let h = 2 in
+  let sched = gated_sched ~gate:(Sketch.Gate.config ~promote_after:h ()) ~paths:2 () in
+  for e = 1 to h do
+    Fleet.Scheduler.push sched ~path:0 (hot_batch 24);
+    Fleet.Scheduler.push sched ~path:1 (cold_batch 24);
+    ignore (Fleet.Scheduler.tick sched : int);
+    let v p = Option.get (Fleet.Scheduler.gate_view sched p) in
+    Alcotest.(check bool)
+      (Printf.sprintf "hot path promoted iff epoch %d = H" e)
+      (e = h) (v 0).Fleet.Scheduler.promoted_path;
+    Alcotest.(check bool) "cold path stays quiet" false
+      (v 1).Fleet.Scheduler.promoted_path
+  done;
+  Alcotest.(check int) "promoted count" 1 (Fleet.Scheduler.promoted_count sched);
+  let gs = Option.get (Fleet.Scheduler.gate_stats sched) in
+  Alcotest.(check int) "one promotion" 1 gs.Fleet.Scheduler.promotions;
+  (* The gate steps before the queue/drop decision, so the hot path's
+     promotion-epoch batch is already queued for EM; only its earlier
+     H-1 batches were absorbed sketch-only, plus everything from the
+     forever-quiet cold path. *)
+  Alcotest.(check int) "skipped observations" ((h - 1 + h) * 24)
+    gs.Fleet.Scheduler.sketch_only_observations;
+  (* From the promotion epoch on, the hot path runs full inference and
+     the cold path still does not. *)
+  for _ = 1 to 6 do
+    Fleet.Scheduler.push sched ~path:0 (hot_batch 24);
+    Fleet.Scheduler.push sched ~path:1 (cold_batch 24);
+    ignore (Fleet.Scheduler.tick sched : int)
+  done;
+  Alcotest.(check bool) "promoted path accumulates EM state" true
+    (Fleet.Path_state.epochs (Fleet.Scheduler.path sched 0) > 0);
+  Alcotest.(check int) "quiet path never entered EM" 0
+    (Fleet.Path_state.epochs (Fleet.Scheduler.path sched 1));
+  Alcotest.(check bool) "quiet path has no conclusion" true
+    (Fleet.Scheduler.conclusion sched 1 = None)
+
+let test_gate_loss_signal_masked_by_cms () =
+  (* A loss-free path's loss signal must read exactly zero through the
+     count-min mask, whatever the EWMA holds. *)
+  let sched = gated_sched ~paths:1 () in
+  Fleet.Scheduler.push sched ~path:0 (cold_batch 32);
+  ignore (Fleet.Scheduler.tick sched : int);
+  let v = Option.get (Fleet.Scheduler.gate_view sched 0) in
+  Alcotest.(check int) "no losses estimated" 0 v.Fleet.Scheduler.loss_estimate;
+  check_float "loss ewma zero" 0. v.Fleet.Scheduler.loss_ewma
+
+let test_gate_demotes_settled_quiet_path () =
+  (* Promote on a lossy no-DCL-shaped stream, let the EM settle on
+     no-dominant, then go cold: the gate must demote after the
+     configured streak while keeping the path's statistics and verdict
+     warm.  The loss mass must split ~2:1 between the bottom and top
+     symbols: the majority share at the bottom pins d-star to the
+     first symbol, and F at 2 d-star ~ 2/3 then rejects both the SDCL
+     (0.995) and WDCL (0.935) thresholds.  An even 50/50 split would
+     backfire: the VQD median lands mid-alphabet and 2 d-star walks
+     off the end of the m=5 scheme, where F saturates to 1 and
+     trivially accepts. *)
+  let mixed_batch len =
+    Array.init len (fun i ->
+        match i mod 16 with
+        | 2 | 5 | 11 -> None (* two losses amid the 0s, one amid the 4s *)
+        | k when k < 8 -> Some 0
+        | _ -> Some 4)
+  in
+  let sched =
+    gated_sched
+      ~gate:(Sketch.Gate.config ~promote_after:1 ~demote_after:3 ())
+      ~paths:1 ()
+  in
+  let demoted = ref None in
+  for e = 1 to 30 do
+    Fleet.Scheduler.push sched ~path:0
+      (if e <= 6 then mixed_batch 48 else cold_batch 48);
+    ignore (Fleet.Scheduler.tick sched : int);
+    let v = Option.get (Fleet.Scheduler.gate_view sched 0) in
+    if !demoted = None && not v.Fleet.Scheduler.promoted_path then demoted := Some e
+  done;
+  Alcotest.(check bool) "eventually demoted" true (!demoted <> None);
+  Alcotest.(check int) "promoted count back to zero" 0
+    (Fleet.Scheduler.promoted_count sched);
+  let gs = Option.get (Fleet.Scheduler.gate_stats sched) in
+  Alcotest.(check int) "one demotion" 1 gs.Fleet.Scheduler.demotions;
+  (* Demotion keeps the decayed statistics and the verdict visible. *)
+  let p = Fleet.Scheduler.path sched 0 in
+  Alcotest.(check bool) "statistics kept warm" true
+    (Stats.Float_cmp.gt (Fleet.Path_state.weight p) 0.);
+  Alcotest.(check bool) "no-dominant verdict kept" true
+    (Fleet.Scheduler.conclusion sched 0 = Some Dcl.Identify.No_dominant)
+
 (* --- workspace cache --------------------------------------------------- *)
 
 let test_workspace_cache () =
@@ -312,6 +461,30 @@ let test_synthetic_source_deterministic () =
   Alcotest.(check bool) "seeded pulls replay bitwise" true (b1 = b2);
   Alcotest.(check bool) "ground truth available" true
     (Fleet.Source.ground_truth s1 0 <> None)
+
+(* The congested-template split is one integer rounding decision, for
+   every fraction in [0, 1] — the boundary the old per-index float
+   comparison could misround. *)
+let prop_congested_templates_rounds =
+  QCheck.Test.make ~name:"congested count = round(fraction * templates)"
+    ~count:500
+    QCheck.(pair (int_range 1 64) (float_range 0. 1.))
+    (fun (templates, fraction) ->
+      let c = Fleet.Source.congested_templates ~templates ~fraction in
+      c = int_of_float (Float.round (fraction *. float_of_int templates))
+      && c >= 0 && c <= templates)
+
+let test_congested_templates_boundaries () =
+  Alcotest.(check int) "zero fraction" 0
+    (Fleet.Source.congested_templates ~templates:8 ~fraction:0.);
+  Alcotest.(check int) "full fraction" 8
+    (Fleet.Source.congested_templates ~templates:8 ~fraction:1.);
+  (* A representable exact half rounds away from zero, and the count
+     is computed once — not re-derived per template index. *)
+  Alcotest.(check int) "half rounds up" 1
+    (Fleet.Source.congested_templates ~templates:8 ~fraction:0.0625);
+  Alcotest.(check int) "one in ten" 1
+    (Fleet.Source.congested_templates ~templates:10 ~fraction:0.1)
 
 let () =
   Alcotest.run "fleet"
@@ -337,6 +510,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "serial = pooled at 2/4/8" `Quick test_pool_determinism;
+          Alcotest.test_case "gated serial = pooled at 2/4/8" `Quick
+            test_gated_pool_determinism;
           Alcotest.test_case "rerun identical" `Quick test_fleet_reruns_identically;
         ] );
       ( "transitions",
@@ -345,6 +520,16 @@ let () =
         [
           Alcotest.test_case "gates" `Quick test_path_state_gates;
           Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "coast" `Quick test_path_state_coast;
+        ] );
+      ( "gating",
+        [
+          Alcotest.test_case "promotes congested within H" `Quick
+            test_gate_promotes_congested_within_h;
+          Alcotest.test_case "loss signal masked by count-min" `Quick
+            test_gate_loss_signal_masked_by_cms;
+          Alcotest.test_case "demotes settled quiet path" `Quick
+            test_gate_demotes_settled_quiet_path;
         ] );
       ( "workspace-cache",
         [ Alcotest.test_case "keyed by shape" `Quick test_workspace_cache ] );
@@ -352,5 +537,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick
             test_synthetic_source_deterministic;
+          QCheck_alcotest.to_alcotest prop_congested_templates_rounds;
+          Alcotest.test_case "congested-count boundaries" `Quick
+            test_congested_templates_boundaries;
         ] );
     ]

@@ -294,6 +294,9 @@ let concurrency_home rel =
          and pool fan-out, so it is a legitimate home for domain
          primitives. *)
       | "lib" :: "fleet" :: _ -> true
+      (* The sketch triage layer sits on the fleet's push path and may
+         reach for the same per-domain primitives. *)
+      | "lib" :: "sketch" :: _ -> true
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
@@ -502,7 +505,7 @@ let check_ident ctx ~loc name =
   if concurrency_banned name && not (concurrency_home ctx.x_rel) then
     report ctx ~loc ~rule:"R2"
       (name
-     ^ " outside lib/stats/pool.ml, lib/stats/par.ml, lib/em/em_sweep.ml, lib/obs/ or lib/fleet/; route parallelism through Stats.Pool");
+     ^ " outside lib/stats/pool.ml, lib/stats/par.ml, lib/em/em_sweep.ml, lib/obs/, lib/fleet/ or lib/sketch/; route parallelism through Stats.Pool");
   if in_lib ctx.x_rel && io_banned name then
     report ctx ~loc ~rule:"R4"
       (name ^ " in library code; binaries own process control and stdout");
@@ -740,7 +743,7 @@ let usage =
       "rules:";
       "  R1/rng-containment     Random.* and wall-clock seeding only in lib/stats/rng.ml";
       "  R2/domain-containment  Domain/Mutex/Condition/Atomic only in pool.ml, par.ml,";
-      "                         em_sweep.ml, lib/obs/, lib/fleet/";
+      "                         em_sweep.ml, lib/obs/, lib/fleet/, lib/sketch/";
       "  R3/float-cmp           no =, <>, compare on floats; no hand-rolled abs_float epsilon";
       "  R4/io-containment      no exit / printf / prerr in lib/";
       "  R5/hot-alloc           no allocating combinators or Bigarray create/sub inside";
