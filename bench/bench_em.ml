@@ -248,8 +248,25 @@ let run_obs ~smoke =
   let _, alloc_enabled = alloc_of fit in
   let enabled_s = min_time_of ~repeats fit in
   Obs.set_enabled false;
+  (* --- tracing leg: the same fit with the flight recorder on (metrics
+     off), then the fully-disabled allocation re-measured, proving the
+     tracing instrumentation still costs nothing when off. *)
+  Obs.Trace.set_capacity 8192;
+  Obs.Trace.set_enabled true;
+  ignore (fit ());
+  let traced_s = min_time_of ~repeats fit in
+  Obs.Trace.clear ();
+  ignore (fit ());
+  let trace_events = Obs.Trace.emitted () in
+  Obs.Trace.set_enabled false;
+  ignore (fit ());
+  let _, alloc_disabled_after = alloc_of fit in
+  let trace_overhead = (traced_s /. disabled_s) -. 1. in
   let obs_iters = t * stats.Mmhd.iterations * restarts in
   let disabled_per_obs_iter = alloc_disabled /. float_of_int obs_iters in
+  let disabled_after_per_obs_iter =
+    alloc_disabled_after /. float_of_int obs_iters
+  in
   let overhead = (enabled_s /. disabled_s) -. 1. in
   (* --- warm-workspace reuse across sliding windows (the Online.scan
      pattern: each domain keeps one workspace and every window's fit
@@ -302,14 +319,19 @@ let run_obs ~smoke =
     \  \"disabled_alloc_bytes\": %.0f,\n\
     \  \"enabled_alloc_bytes\": %.0f,\n\
     \  \"disabled_alloc_bytes_per_obs_iter\": %.4f,\n\
+    \  \"trace_enabled_seconds\": %.6f,\n\
+    \  \"trace_overhead_ratio\": %.4f,\n\
+    \  \"trace_events_per_fit\": %d,\n\
+    \  \"trace_disabled_alloc_bytes_per_obs_iter\": %.4f,\n\
     \  \"window_fits\": %d, \"window_len\": %d,\n\
     \  \"warm_ws_alloc_bytes\": %.0f,\n\
     \  \"fresh_ws_alloc_bytes\": %.0f,\n\
     \  \"warm_ws_saved_bytes_per_window\": %.0f,\n\
     \  \"warm_ws_identical_to_fresh\": true,\n\
-    \  \"note\": \"one serial MMHD fit timed with Obs collection off and on (min of %d repeats each); every instrumentation call is compiled in in both runs, the disabled run reduces each to a flag check. disabled_alloc_bytes_per_obs_iter is the steady-state allocation of the instrumented kernel with collection off and must stay at zero (the sub-byte slack absorbs Gc.allocated_bytes boxing its own result). the warm_ws_* fields measure the Online.scan sliding-window pattern: window_fits informed-init fits over a sliding window, once reusing one warm workspace (what scan's per-domain domain_ws gives every window) and once allocating a fresh workspace per window; the workspace holds scaled sweep state but no statistics, so the warm fits are asserted bit-identical to the fresh ones, and warm_ws_saved_bytes_per_window is the allocation the reuse avoids.\"\n}\n"
+    \  \"note\": \"one serial MMHD fit timed with Obs collection off and on (min of %d repeats each); every instrumentation call is compiled in in both runs, the disabled run reduces each to a flag check. disabled_alloc_bytes_per_obs_iter is the steady-state allocation of the instrumented kernel with collection off and must stay at zero (the sub-byte slack absorbs Gc.allocated_bytes boxing its own result). the trace_* fields repeat the experiment with the flight recorder (Obs.Trace) enabled and metrics off: trace_overhead_ratio bounds what per-event ring emission costs the fit, trace_events_per_fit counts the events one fit records, and trace_disabled_alloc_bytes_per_obs_iter re-measures the disabled path after the tracing leg to prove the trace instrumentation is allocation-free when off. the warm_ws_* fields measure the Online.scan sliding-window pattern: window_fits informed-init fits over a sliding window, once reusing one warm workspace (what scan's per-domain domain_ws gives every window) and once allocating a fresh workspace per window; the workspace holds scaled sweep state but no statistics, so the warm fits are asserted bit-identical to the fresh ones, and warm_ws_saved_bytes_per_window is the allocation the reuse avoids.\"\n}\n"
     t n m restarts max_iter stats.Mmhd.iterations disabled_s enabled_s overhead
-    alloc_disabled alloc_enabled disabled_per_obs_iter n_windows window
+    alloc_disabled alloc_enabled disabled_per_obs_iter traced_s trace_overhead
+    trace_events disabled_after_per_obs_iter n_windows window
     alloc_warm alloc_fresh saved_per_window repeats;
   let path = if smoke then "BENCH_obs.smoke.json" else "BENCH_obs.json" in
   let oc = open_out path in
@@ -329,6 +351,23 @@ let run_obs ~smoke =
       Printf.eprintf
         "FATAL: disabled path allocates %.2f bytes per observation-iteration\n"
         disabled_per_obs_iter;
+      exit 1
+    end;
+    if trace_overhead >= 0.05 then begin
+      Printf.eprintf
+        "FATAL: enabled-tracing overhead %.2f%% exceeds the 5%% budget\n"
+        (100. *. trace_overhead);
+      exit 1
+    end;
+    if disabled_after_per_obs_iter >= 1. then begin
+      Printf.eprintf
+        "FATAL: disabled path allocates %.2f bytes per observation-iteration \
+         after the tracing leg\n"
+        disabled_after_per_obs_iter;
+      exit 1
+    end;
+    if trace_events = 0 then begin
+      Printf.eprintf "FATAL: tracing-enabled fit recorded zero trace events\n";
       exit 1
     end
   end

@@ -180,6 +180,197 @@ let run_scale ~smoke buf =
   Printf.eprintf "bench_fleet: %d paths, %.0f path-updates/s in the tick\n%!"
     paths (updates /. !tick_total)
 
+(* Minimal RFC 8259 well-formedness checker: enough to prove the trace
+   exporter emits parseable JSON without a json-library dependency. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail = ref false in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let adv () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c = if peek () = c then adv () else fail := true in
+  let hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  let string_lit () =
+    expect '"';
+    let fin = ref false in
+    while (not !fin) && not !fail do
+      if !pos >= n then fail := true
+      else
+        match s.[!pos] with
+        | '"' ->
+            adv ();
+            fin := true
+        | '\\' -> (
+            adv ();
+            match peek () with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> adv ()
+            | 'u' ->
+                adv ();
+                for _ = 1 to 4 do
+                  if !pos < n && hex s.[!pos] then adv () else fail := true
+                done
+            | _ -> fail := true)
+        | c when Char.code c < 0x20 -> fail := true
+        | _ -> adv ()
+    done
+  in
+  let number () =
+    if peek () = '-' then adv ();
+    let digits () =
+      if not (peek () >= '0' && peek () <= '9') then fail := true;
+      while peek () >= '0' && peek () <= '9' do
+        adv ()
+      done
+    in
+    digits ();
+    if peek () = '.' then begin
+      adv ();
+      digits ()
+    end;
+    match peek () with
+    | 'e' | 'E' ->
+        adv ();
+        (match peek () with '+' | '-' -> adv () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let literal lit =
+    let ln = String.length lit in
+    if !pos + ln <= n && String.sub s !pos ln = lit then pos := !pos + ln
+    else fail := true
+  in
+  let rec value d =
+    if d > 64 || !fail then fail := true
+    else begin
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          adv ();
+          skip_ws ();
+          if peek () = '}' then adv ()
+          else begin
+            let cont = ref true in
+            while !cont && not !fail do
+              skip_ws ();
+              string_lit ();
+              skip_ws ();
+              expect ':';
+              value (d + 1);
+              skip_ws ();
+              match peek () with
+              | ',' -> adv ()
+              | '}' ->
+                  adv ();
+                  cont := false
+              | _ -> fail := true
+            done
+          end
+      | '[' ->
+          adv ();
+          skip_ws ();
+          if peek () = ']' then adv ()
+          else begin
+            let cont = ref true in
+            while !cont && not !fail do
+              value (d + 1);
+              skip_ws ();
+              match peek () with
+              | ',' -> adv ()
+              | ']' ->
+                  adv ();
+                  cont := false
+              | _ -> fail := true
+            done
+          end
+      | '"' -> string_lit ()
+      | 't' -> literal "true"
+      | 'f' -> literal "false"
+      | 'n' -> literal "null"
+      | _ -> number ()
+    end
+  in
+  value 0;
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* Flight-recorder leg: the same seeded gated fleet run with tracing
+   off and on must be bit-identical (fingerprint and transition log —
+   the recorder only ever reads the clock), and the Chrome export must
+   be well-formed JSON with at least one event from every instrumented
+   seam.  256 paths with the low-threshold gate keeps >64 paths
+   promoted, so the pooled tick genuinely fans out (pool chunk size is
+   64) and pool.* spans come from real workers. *)
+let run_trace ~smoke buf =
+  let paths = 256 and epochs = 3 and epoch_len = 32 and seed = 0xF1EE7 in
+  let gate () = Sketch.Gate.config ~loss_threshold:0.08 ~promote_after:1 () in
+  let arm () =
+    run_fleet ~gate:(gate ()) ~domains:2 ~paths ~epochs ~epoch_len ~seed ()
+  in
+  Obs.Trace.set_enabled false;
+  let fp_off, log_off = arm () in
+  Obs.Trace.set_capacity 16384;
+  Obs.Trace.set_enabled true;
+  let fp_on, log_on = arm () in
+  Obs.Trace.set_enabled false;
+  if fp_on <> fp_off || log_on <> log_off then begin
+    Printf.eprintf
+      "FATAL: fleet run with tracing enabled diverges from tracing disabled \
+       (fingerprint %s vs %s, logs %s)\n"
+      fp_on fp_off
+      (if log_on = log_off then "identical" else "differ");
+    exit 1
+  end;
+  let evs = Obs.Trace.events () in
+  let seam_count prefix =
+    let lp = String.length prefix in
+    List.length
+      (List.filter
+         (fun (e : Obs.Trace.event) ->
+           String.length e.Obs.Trace.ev_name >= lp
+           && String.sub e.Obs.Trace.ev_name 0 lp = prefix)
+         evs)
+  in
+  let em = seam_count "em." and pool = seam_count "pool." in
+  let epoch = seam_count "fleet.epoch" and gate_ev = seam_count "gate." in
+  List.iter
+    (fun (name, c) ->
+      if c = 0 then begin
+        Printf.eprintf "FATAL: no %s trace events recorded\n" name;
+        exit 1
+      end)
+    [ ("em.*", em); ("pool.*", pool); ("fleet.epoch", epoch); ("gate.*", gate_ev) ];
+  let chrome = Obs.Trace.chrome_json () in
+  if not (json_valid chrome) then begin
+    Printf.eprintf "FATAL: Chrome trace export is not well-formed JSON\n";
+    exit 1
+  end;
+  let path = if smoke then "TRACE_fleet.smoke.json" else "TRACE_fleet.json" in
+  let oc = open_out path in
+  output_string oc chrome;
+  close_out oc;
+  Printf.bprintf buf
+    "  \"trace\": {\"paths\": %d, \"epochs\": %d, \"domains\": 2,\n\
+    \    \"events_emitted\": %d, \"events_retained\": %d,\n\
+    \    \"em_events\": %d, \"pool_events\": %d, \"epoch_events\": %d,\n\
+    \    \"gate_events\": %d, \"chrome_export_valid_json\": true,\n\
+    \    \"fingerprint_identical_to_untraced\": true},\n"
+    paths epochs (Obs.Trace.emitted ()) (Obs.Trace.stored ()) em pool epoch
+    gate_ev;
+  Printf.eprintf
+    "bench_fleet: trace leg ok (%d events; em/pool/epoch/gate covered; \
+     fingerprint identical; wrote %s)\n%!"
+    (Obs.Trace.emitted ()) path
+
 (* Sketch-gated vs ungated triage on a mixed, mostly-quiet fleet (one
    congested template in ten): the same pre-generated observation
    stream through both arms.  Asserts the two contracts behind the
@@ -379,7 +570,8 @@ let () =
   if not gated_only then begin
     run_determinism ~smoke buf;
     run_speedup ~smoke buf;
-    run_scale ~smoke buf
+    run_scale ~smoke buf;
+    run_trace ~smoke buf
   end;
   (* The gated triage section runs in the dedicated --gated smoke and
      in the full (non-smoke) bench; the pre-existing --smoke alias
@@ -397,7 +589,12 @@ let () =
      epochs; paths_per_s counts scheduler updates only, end_to_end adds \
      synthetic-source generation; epoch latency quantiles come from the \
      dcl_fleet_epoch_seconds histogram, linearly interpolated within \
-     buckets. gated feeds one pre-generated mixed stream (one congested \
+     buckets. trace reruns a seeded gated fleet with the Obs.Trace flight \
+     recorder off and on, requires bit-identical fingerprints and \
+     transition logs, and validates the Chrome export (written to \
+     TRACE_fleet[.smoke].json) as well-formed JSON with at least one event \
+     per instrumented seam (em/pool/epoch/gate). gated feeds one \
+     pre-generated mixed stream (one congested \
      template in ten) through an ungated and a sketch-gated arm and \
      requires em_work_ratio (observations swept by the ungated tick's EM \
      over the gated tick's, bitwise-deterministic) >= 10x, dominant-path \

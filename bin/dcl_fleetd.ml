@@ -94,9 +94,18 @@ let conclusion_name = function
   | Some Dcl.Identify.Weakly_dominant -> "weakly-dominant"
   | Some Dcl.Identify.No_dominant -> "no-dominant"
 
+(* JSON helpers for the admin routes: non-finite floats are not
+   representable in JSON and go out as null. *)
+let jfloat x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
 let run paths epochs epoch_len lambda n m domains source congested_fraction seed
-    gate gate_loss gate_drift gate_h gate_demote verbose metrics =
+    gate gate_loss gate_drift gate_h gate_demote verbose metrics trace listen
+    metrics_interval linger =
   Obs_cli.with_metrics metrics @@ fun () ->
+  Obs_cli.with_trace trace @@ fun () ->
+  (* The admin endpoint's /metrics route is pointless without
+     collection, so --listen implies it. *)
+  if listen <> None then Obs.set_enabled true;
   let rng = Stats.Rng.create seed in
   let src = build_source source rng ~paths ~m ~congested_fraction ~seed in
   let config =
@@ -121,13 +130,93 @@ let run paths epochs epoch_len lambda n m domains source congested_fraction seed
   let sched =
     Fleet.Scheduler.create ~domains ~on_transition ?gate ~rng ~paths config
   in
+  let admin =
+    Option.map
+      (fun port ->
+        let fast path =
+          (* Answered on the server domain: these only read the metrics
+             registry's atomics.  Everything else (fleet state, trace
+             rings) defers to the driver via serve_pending. *)
+          match path with
+          | "/healthz" -> Some ("text/plain", "ok\n")
+          | "/metrics" -> Some ("text/plain; version=0.0.4", Obs.prometheus ())
+          | _ -> None
+        in
+        let a = Obs.Admin.start ~port ~fast () in
+        Printf.printf "admin: listening on http://127.0.0.1:%d\n%!"
+          (Obs.Admin.port a);
+        a)
+      listen
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Obs.Admin.stop admin) @@ fun () ->
+  let path_json p =
+    let ps = Fleet.Scheduler.path sched p in
+    let gate_json =
+      match Fleet.Scheduler.gate_view sched p with
+      | None -> "null"
+      | Some gv ->
+          Printf.sprintf
+            "{\"promoted\":%b,\"loss_ewma\":%s,\"drift\":%s,\"loss_estimate\":%d}"
+            gv.Fleet.Scheduler.promoted_path
+            (jfloat gv.Fleet.Scheduler.loss_ewma)
+            (jfloat gv.Fleet.Scheduler.drift)
+            gv.Fleet.Scheduler.loss_estimate
+    in
+    Printf.sprintf
+      "{\"path\":%d,\"conclusion\":\"%s\",\"bound\":%s,\"weight\":%s,\"epochs\":%d,\"observations\":%d,\"resets\":%d,\"gate\":%s,\"timeline\":%s}\n"
+      p
+      (conclusion_name (Fleet.Path_state.conclusion ps))
+      (match Fleet.Path_state.bound ps with Some b -> jfloat b | None -> "null")
+      (jfloat (Fleet.Path_state.weight ps))
+      (Fleet.Path_state.epochs ps)
+      (Fleet.Path_state.observations ps)
+      (Fleet.Path_state.resets ps)
+      gate_json
+      (Fleet.Timeline.to_json (Fleet.Path_state.timeline ps))
+  in
+  let summary_json () =
+    let counts = Hashtbl.create 4 in
+    for p = 0 to paths - 1 do
+      let key = conclusion_name (Fleet.Scheduler.conclusion sched p) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+    done;
+    let count k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+    Printf.sprintf
+      "{\"paths\":%d,\"epoch\":%d,\"promoted\":%d,\"strongly_dominant\":%d,\"weakly_dominant\":%d,\"no_dominant\":%d,\"untested\":%d}\n"
+      paths (Fleet.Scheduler.epoch sched)
+      (Fleet.Scheduler.promoted_count sched)
+      (count "strongly-dominant") (count "weakly-dominant")
+      (count "no-dominant") (count "untested")
+  in
+  let handle path =
+    if path = "/paths" then Some ("application/json", summary_json ())
+    else if path = "/trace" then Some ("application/json", Obs.Trace.chrome_json ())
+    else if String.length path > 7 && String.sub path 0 7 = "/paths/" then
+      match int_of_string_opt (String.sub path 7 (String.length path - 7)) with
+      | Some p when p >= 0 && p < paths -> Some ("application/json", path_json p)
+      | _ -> None
+    else None
+  in
+  let serve () =
+    match admin with
+    | Some a -> ignore (Obs.Admin.serve_pending a ~handle : int)
+    | None -> ()
+  in
   let start = Obs.Span.now_ns () in
-  for _ = 1 to epochs do
+  for e = 1 to epochs do
     for p = 0 to paths - 1 do
       Fleet.Scheduler.push sched ~path:p
         (Fleet.Source.pull src ~path:p ~len:epoch_len)
     done;
-    ignore (Fleet.Scheduler.tick sched : int)
+    ignore (Fleet.Scheduler.tick sched : int);
+    serve ();
+    (* Per-epoch flush: a crashed or killed run still leaves a metrics
+       snapshot behind (the write is atomic, so scrapers never see a
+       torn file).  Stdout dumps stay exit-only. *)
+    match metrics with
+    | Some d when d <> "-" && e mod metrics_interval = 0 -> Obs.write d
+    | _ -> ()
   done;
   let elapsed = float_of_int (Obs.Span.now_ns () - start) *. 1e-9 in
   let counts = Hashtbl.create 4 in
@@ -187,6 +276,17 @@ let run paths epochs epoch_len lambda n m domains source congested_fraction seed
           (100. *. float_of_int !recalled /. float_of_int !dominant));
   Printf.printf "%.3f s wall, %.0f path-updates/s\n" elapsed
     (float_of_int (paths * epochs) /. elapsed);
+  (* Keep the endpoint alive for scrapers that arrive after the run
+     body finishes (CI smoke tests, a human with a browser). *)
+  (match admin with
+  | Some _ when linger > 0. ->
+      Printf.printf "admin: lingering %.1f s\n%!" linger;
+      let deadline = Obs.Span.now_ns () + int_of_float (linger *. 1e9) in
+      while Obs.Span.now_ns () < deadline do
+        serve ();
+        Unix.sleepf 0.05
+      done
+  | _ -> ());
   0
 
 let paths_arg =
@@ -298,6 +398,47 @@ let verbose_arg =
     value & flag
     & info [ "verbose"; "v" ] ~doc:"Print every per-path conclusion transition.")
 
+let port_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a port number, got %S" s))
+    | Some v when v < 0 || v > 65535 ->
+        Error (`Msg (Printf.sprintf "%d is outside the port range [0, 65535]" v))
+    | Some v -> Ok v
+  in
+  Arg.conv ~docv:"PORT" (parse, Format.pp_print_int)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some port_conv) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve a live introspection endpoint on 127.0.0.1:$(docv) while the \
+           run progresses: $(b,/healthz), $(b,/metrics) (Prometheus), \
+           $(b,/paths) (fleet summary), $(b,/paths/)$(i,ID) (per-path \
+           diagnosis timeline as JSON), $(b,/trace) (flight-recorder dump as \
+           Chrome trace-event JSON).  Port 0 picks an ephemeral port, printed \
+           at startup.  Implies metrics collection.")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt positive_int 1
+    & info [ "metrics-interval" ] ~docv:"N"
+        ~doc:
+          "Flush the $(b,--metrics) file every $(docv) epochs (default: every \
+           epoch), so a crashed or killed run still leaves a snapshot behind.  \
+           Stdout dumps ($(b,--metrics -)) are only written on exit.")
+
+let linger_arg =
+  Arg.(
+    value
+    & opt (nonneg_float ~what:"--linger") 0.
+    & info [ "linger" ] ~docv:"SECONDS"
+        ~doc:
+          "Keep the $(b,--listen) endpoint serving for $(docv) seconds after \
+           the run completes.")
+
 let cmd =
   let doc = "monitor a fleet of paths with streaming DCL identification" in
   Cmd.v
@@ -306,6 +447,7 @@ let cmd =
       const run $ paths_arg $ epochs_arg $ epoch_arg $ lambda_arg $ n_arg $ m_arg
       $ domains_arg $ source_arg $ congested_arg $ seed_arg $ gate_arg
       $ gate_loss_arg $ gate_drift_arg $ gate_h_arg $ gate_demote_arg
-      $ verbose_arg $ Obs_cli.metrics_arg)
+      $ verbose_arg $ Obs_cli.metrics_arg $ Obs_cli.trace_arg $ listen_arg
+      $ metrics_interval_arg $ linger_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,6 @@
-(* Shared --metrics plumbing for the dcl command-line tools: one
-   optional flag that turns collection on for the whole run and dumps a
-   registry snapshot on exit. *)
+(* Shared --metrics / --trace plumbing for the dcl command-line tools:
+   optional flags that turn collection on for the whole run and dump a
+   registry snapshot / flight-recorder dump on exit. *)
 
 open Cmdliner
 
@@ -26,3 +26,24 @@ let with_metrics dest f =
   | Some d ->
       Obs.set_enabled true;
       Fun.protect ~finally:(fun () -> Obs.write d) f
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record flight-recorder trace events and write them on exit: a path \
+           ending in $(b,.json) writes Chrome trace-event JSON (loadable in \
+           Perfetto), $(b,-) prints the sorted text dump to stdout, any other \
+           path writes the text dump.  Tracing can also be enabled without a \
+           dump by setting $(b,DCL_TRACE=1) in the environment.")
+
+(* Same shape as [with_metrics]: the dump is written even when [f]
+   raises — the flight recorder exists for exactly that post-mortem. *)
+let with_trace dest f =
+  match dest with
+  | None -> f ()
+  | Some d ->
+      Obs.Trace.set_enabled true;
+      Fun.protect ~finally:(fun () -> Obs.Trace.write d) f

@@ -301,6 +301,7 @@ module Incremental = struct
     check_obs "Em.Incremental.append" obs;
     let s = st.s and m = st.m in
     let tt = Array.length obs in
+    Obs.Trace.span_begin "em.append" tt;
     (* Seed the batch from the carried filtered distribution propagated
        one step through the current transitions: the previous batch
        ended at instant T-1, this one starts at the next instant, so
@@ -321,7 +322,15 @@ module Incremental = struct
       end
       else t
     in
-    let ll = run_sweep ~sweep:Sweep.serial ws t obs in
+    let ll =
+      match run_sweep ~sweep:Sweep.serial ws t obs with
+      | ll -> ll
+      | exception e ->
+          (* Zero_likelihood from the sweep: close the span so the
+             recorder's begin/end stream stays balanced. *)
+          Obs.Trace.span_end "em.append";
+          raise e
+    in
     Kernel.clear_stats ws ~s ~m;
     Kernel.accumulate_direct ws t ~t0:0 ~t1:tt ~tt;
     for i = 0 to (s * s) - 1 do
@@ -358,6 +367,7 @@ module Incremental = struct
     st.weight <- st.weight +. float_of_int tt;
     st.log_likelihood <- st.log_likelihood +. ll;
     st.batches <- st.batches + 1;
+    Obs.Trace.span_end "em.append";
     ll
 
   (* Mirror of [em_step]'s M-step, reading the decayed accumulators:
@@ -453,7 +463,16 @@ let fit_from ~ws ?(eps = 1e-3) ?(max_iter = 300) ?(sweep = Sweep.serial)
     ~update_b t0 obs =
   let rec iterate t iter =
     let t0_ns = Obs.Span.start () in
-    let t' = em_step ~ws ~sweep ~update_b t obs in
+    Obs.Trace.span_begin "em.sweep" (iter + 1);
+    let t' =
+      match em_step ~ws ~sweep ~update_b t obs with
+      | t' ->
+          Obs.Trace.span_end "em.sweep";
+          t'
+      | exception e ->
+          Obs.Trace.span_end "em.sweep";
+          raise e
+    in
     Obs.Span.stop m_sweep t0_ns;
     (* lint: allow R2 lock-free read of the shared trace hook *)
     (match Atomic.get iteration_trace with
@@ -485,8 +504,15 @@ let fit_restarts ?eps ?max_iter ?(domains = 1) ?sweep ~restarts ~update_b ~init
     obs =
   if restarts <= 0 then invalid_arg "Em.fit_restarts: restarts must be positive";
   let attempt k =
-    try Some (fit_from ~ws:(domain_ws ()) ?eps ?max_iter ?sweep ~update_b (init k) obs)
-    with Zero_likelihood _ -> None
+    Obs.Trace.span_begin "em.fit" k;
+    match fit_from ~ws:(domain_ws ()) ?eps ?max_iter ?sweep ~update_b (init k) obs with
+    | r ->
+        Obs.Trace.span_end "em.fit";
+        Some r
+    | exception Zero_likelihood _ ->
+        Obs.Trace.instant "em.zero_likelihood" k;
+        Obs.Trace.span_end "em.fit";
+        None
   in
   let results = Stats.Par.map_range ~domains restarts attempt in
   let best = ref None in

@@ -21,10 +21,11 @@ type config = {
   params : Dcl.Identify.params;
   min_weight : float;
   min_loss_mass : float;
+  timeline_capacity : int;
 }
 
 let config ?(n = 2) ?(lambda = 0.9) ?params ?(min_weight = 64.)
-    ?(min_loss_mass = 1.) ~scheme () =
+    ?(min_loss_mass = 1.) ?(timeline_capacity = 64) ~scheme () =
   if n <= 0 then invalid_arg "Fleet.Path_state.config: n must be positive";
   if lambda < 0. || lambda > 1. then
     invalid_arg "Fleet.Path_state.config: lambda must be in [0, 1]";
@@ -32,6 +33,8 @@ let config ?(n = 2) ?(lambda = 0.9) ?params ?(min_weight = 64.)
     invalid_arg "Fleet.Path_state.config: min_weight must be non-negative";
   if min_loss_mass <= 0. then
     invalid_arg "Fleet.Path_state.config: min_loss_mass must be positive";
+  if timeline_capacity < 0 then
+    invalid_arg "Fleet.Path_state.config: timeline_capacity must be non-negative";
   let params = match params with Some p -> p | None -> Dcl.Identify.default_params in
   {
     n;
@@ -41,6 +44,7 @@ let config ?(n = 2) ?(lambda = 0.9) ?params ?(min_weight = 64.)
     params;
     min_weight;
     min_loss_mass;
+    timeline_capacity;
   }
 
 let states cfg = cfg.n * cfg.m
@@ -49,6 +53,7 @@ type t = {
   config : config;
   rng : Stats.Rng.t;
   stats : Em.Incremental.stats;
+  timeline : Timeline.t;
   mutable model : Em.model option;
   mutable conclusion : Dcl.Identify.conclusion option;
   mutable bound : float option;
@@ -63,6 +68,7 @@ let create config ~rng =
     config;
     rng;
     stats = Em.Incremental.create ~s:(states config) ~m:config.m;
+    timeline = Timeline.create ~capacity:config.timeline_capacity;
     model = None;
     conclusion = None;
     bound = None;
@@ -81,6 +87,7 @@ let resets t = t.resets
 let weight t = Em.Incremental.weight t.stats
 let last_log_likelihood t = t.last_log_likelihood
 let stats t = t.stats
+let timeline t = t.timeline
 
 (* Catch-up decay for a path whose epochs went by without updates (a
    demoted path re-entering full inference): one multiplication by
@@ -115,7 +122,7 @@ let retest t =
         t.conclusion <- Some v.Dcl.Identify.conclusion;
         t.bound <- v.Dcl.Identify.bound
 
-let update ~ws t batch =
+let update ~ws ?epoch t batch =
   let len = Array.length batch in
   if len = 0 then false
   else begin
@@ -139,6 +146,7 @@ let update ~ws t batch =
     | Some model -> (
         t.epochs <- t.epochs + 1;
         t.observations <- t.observations + len;
+        let epoch = match epoch with Some e -> e | None -> t.epochs in
         Em.Incremental.decay t.stats ~lambda:t.config.lambda;
         let was = t.conclusion in
         match Em.Incremental.append ~ws t.stats model batch with
@@ -146,6 +154,15 @@ let update ~ws t batch =
             t.last_log_likelihood <- ll;
             t.model <- Some (Em.Incremental.m_step t.stats model);
             retest t;
+            Timeline.record t.timeline
+              (Timeline.Update
+                 {
+                   epoch;
+                   verdict = t.conclusion;
+                   log_likelihood = ll;
+                   weight = Em.Incremental.weight t.stats;
+                   bound = t.bound;
+                 });
             t.conclusion <> was
         | exception Em.Zero_likelihood _ ->
             (* The M-step floors make this essentially impossible once a
@@ -159,5 +176,7 @@ let update ~ws t batch =
             t.bound <- None;
             t.resets <- t.resets + 1;
             Obs.Counter.incr m_resets;
+            Timeline.record t.timeline (Timeline.Reset { epoch });
+            Obs.Trace.instant "fleet.reset" epoch;
             was <> None)
   end

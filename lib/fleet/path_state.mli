@@ -27,6 +27,9 @@ type config = {
   min_loss_mass : float;
       (** decayed loss mass required before the tests run — below it
           there is no meaningful VQD *)
+  timeline_capacity : int;
+      (** diagnosis-history entries retained per path ({!Timeline});
+          [0] disables recording *)
 }
 
 val config :
@@ -35,12 +38,14 @@ val config :
   ?params:Dcl.Identify.params ->
   ?min_weight:float ->
   ?min_loss_mass:float ->
+  ?timeline_capacity:int ->
   scheme:Dcl.Discretize.t ->
   unit ->
   config
 (** Defaults: [n = 2], [lambda = 0.9] (an effective window of ten
     epochs), [params = Dcl.Identify.default_params], [min_weight = 64]
-    observations, [min_loss_mass = 1] expected loss.  Raises
+    observations, [min_loss_mass = 1] expected loss,
+    [timeline_capacity = 64] retained diagnosis events.  Raises
     [Invalid_argument] on out-of-range values. *)
 
 val states : config -> int
@@ -54,7 +59,7 @@ val create : config -> rng:Stats.Rng.t -> t
     stream: it seeds the informed model initialization, so two fleets
     built from equal-seeded RNGs evolve identically. *)
 
-val update : ws:Em.workspace -> t -> Em.observation array -> bool
+val update : ws:Em.workspace -> ?epoch:int -> t -> Em.observation array -> bool
 (** Process one epoch's batch; returns whether the conclusion changed.
     An empty batch is a no-op.  Before the first delay observation
     arrives, batches are dropped (the informed initializer needs at
@@ -63,7 +68,9 @@ val update : ws:Em.workspace -> t -> Em.observation array -> bool
     {!Em.Zero_likelihood} degeneracy resets the path to its untested
     state (counted in [dcl_fleet_path_resets_total] and {!resets})
     instead of propagating.  [ws] is the calling domain's workspace
-    ({!Workspace_cache.get}). *)
+    ({!Workspace_cache.get}).  Each non-dropped batch appends an entry
+    to the path's {!timeline}, stamped with [epoch] (the scheduler's
+    fleet epoch) when given, the path's own update count otherwise. *)
 
 val coast : t -> factor:float -> unit
 (** Apply the decay the path missed while it was not being updated
@@ -97,3 +104,7 @@ val last_log_likelihood : t -> float
 
 val stats : t -> Em.Incremental.stats
 (** The underlying accumulators (for tests and introspection). *)
+
+val timeline : t -> Timeline.t
+(** The path's bounded diagnosis history (verdict updates, gate
+    transitions recorded by the scheduler, resets). *)

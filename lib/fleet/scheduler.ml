@@ -249,9 +249,13 @@ let gated_push t g ~path:pidx batch =
     let drift = Sketch.Estimators.Quantile.elevation quant in
     let p = t.paths.(pidx) in
     let settled = Path_state.conclusion p = Some Dcl.Identify.No_dominant in
+    (* The cause refines the suspect boolean for the forensic record;
+       feeding [cause <> None] to the gate keeps its semantics
+       bit-identical to the plain [suspect] call. *)
+    let cause = Sketch.Gate.suspect_cause g.g_config ~loss ~drift in
+    let streak_before = Sketch.Gate.streak g.g_gates.(pidx) in
     match
-      Sketch.Gate.step g.g_config g.g_gates.(pidx)
-        ~suspect:(Sketch.Gate.suspect g.g_config ~loss ~drift)
+      Sketch.Gate.step g.g_config g.g_gates.(pidx) ~suspect:(cause <> None)
         ~calm:(Sketch.Gate.calm g.g_config ~loss ~drift)
         ~settled
     with
@@ -260,6 +264,18 @@ let gated_push t g ~path:pidx batch =
         g.g_promoted <- g.g_promoted + 1;
         g.g_promotions <- g.g_promotions + 1;
         Obs.Counter.incr m_promotions;
+        let why =
+          match cause with Some c -> Sketch.Gate.cause_name c | None -> "suspect"
+        in
+        Timeline.record (Path_state.timeline p)
+          (Timeline.Gate
+             {
+               epoch = t.epoch;
+               promoted = true;
+               cause = why;
+               streak = streak_before + 1;
+             });
+        Obs.Trace.instant_d "gate.promote" why pidx;
         let skipped = t.epoch - g.g_last_em.(pidx) - 1 in
         if skipped > 0 then
           Path_state.coast p
@@ -267,7 +283,16 @@ let gated_push t g ~path:pidx batch =
     | Sketch.Gate.Demote ->
         g.g_promoted <- g.g_promoted - 1;
         g.g_demotions <- g.g_demotions + 1;
-        Obs.Counter.incr m_demotions
+        Obs.Counter.incr m_demotions;
+        Timeline.record (Path_state.timeline p)
+          (Timeline.Gate
+             {
+               epoch = t.epoch;
+               promoted = false;
+               cause = "calm";
+               streak = streak_before + 1;
+             });
+        Obs.Trace.instant_d "gate.demote" "calm" pidx
   end;
   if Sketch.Gate.promoted g.g_gates.(pidx) then
     t.pending.(pidx) <- batch :: t.pending.(pidx)
@@ -308,6 +333,7 @@ let tick t =
   done;
   let n = !n_active in
   let t0 = Obs.Span.start () in
+  Obs.Trace.span_begin "fleet.epoch" t.epoch;
   if n > 0 then begin
     (* Size the pool fan-out by the work actually promoted this epoch:
        waking eight domains for a handful of promoted paths costs more
@@ -319,7 +345,9 @@ let tick t =
         let p = t.paths.(pidx) in
         let batch = drain_pending t pidx in
         let was = Path_state.conclusion p in
-        let changed = Path_state.update ~ws:(Workspace_cache.get ~s ~m) p batch in
+        let changed =
+          Path_state.update ~ws:(Workspace_cache.get ~s ~m) ~epoch:t.epoch p batch
+        in
         if Obs.enabled () then Obs.Counter.add m_observations (Array.length batch);
         t.slots.(i) <-
           (if changed then
@@ -345,14 +373,17 @@ let tick t =
     | None -> ()
     | Some tr -> (
         Obs.Counter.incr m_transitions;
+        Obs.Trace.instant_d "fleet.transition" (Timeline.verdict_name tr.now) tr.path;
         match t.on_transition with Some f -> f tr | None -> ()));
     t.slots.(i) <- None
   done;
+  Obs.Trace.span_end "fleet.epoch";
   Obs.Span.stop h_epoch t0;
   if Obs.enabled () then begin
     Obs.Counter.incr m_ticks;
     Obs.Counter.add m_updates n;
-    Obs.Gauge.set g_active (float_of_int n)
+    Obs.Gauge.set g_active (float_of_int n);
+    Obs.Runtime.sample ()
   end;
   n
 

@@ -165,8 +165,168 @@ val json : unit -> string
 val write : string -> unit
 (** Write a snapshot to a destination: ["-"] prints Prometheus text to
     stdout; a path ending in [.json] writes JSON; any other path writes
-    Prometheus text. *)
+    Prometheus text.  File writes are atomic: the snapshot lands in a
+    temporary file in the destination's directory and is renamed over
+    the target, so a concurrent reader never observes a truncated
+    dump. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (registration survives).  For tests
     and benches. *)
+
+(** {1 Flight recorder} *)
+
+module Trace : sig
+  (** Per-domain-sharded, fixed-capacity ring-buffer flight recorder of
+      structured events.  Independent of the metrics flag: tracing is
+      enabled by the [DCL_TRACE] environment variable ([1] / [true] /
+      [yes]) or {!set_enabled}.  The disabled path is one atomic flag
+      load per call and allocates nothing — all emitters take immediate
+      arguments (static-literal names, [int] payloads), which is why
+      they come as concrete variants rather than optional parameters.
+
+      When enabled, an emission claims a slot with one
+      [Atomic.fetch_and_add] on its shard's cursor and mutates the
+      preallocated slot in place: no allocation, no lock, no contention
+      between domains (shard = domain id, as for metrics).  The ring
+      overwrites oldest-first when full; {!emitted} keeps counting past
+      the capacity so tests can detect wraparound.
+
+      Determinism contract: the recorder only ever {e reads} the
+      monotonic clock and writes its own rings — no instrumented
+      computation observes trace state, so enabling tracing cannot
+      change fingerprints or winners.
+
+      Readers ({!events}, {!dump}, {!chrome_json}) must be quiescent
+      with respect to emitters: call them from the driver between
+      epochs, or after a pool job has returned. *)
+
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+
+  val set_capacity : int -> unit
+  (** Replace the rings with fresh ones of per-shard capacity [n]
+      (rounded up to a power of two; default 4096).  Discards recorded
+      events; call while no other domain is emitting.  Raises
+      [Invalid_argument] unless [n > 0]. *)
+
+  val capacity : unit -> int
+  (** Current per-shard ring capacity. *)
+
+  val clear : unit -> unit
+  (** Reset every shard's cursor; recorded events are forgotten. *)
+
+  (** {2 Emitters}
+
+      [name] should be a static string (it is stored by pointer); [arg]
+      is a free integer payload (restart id, epoch, path index...);
+      [detail] variants attach a second static string (a cause, a
+      conclusion name).  [_at] variants take an explicit timestamp from
+      {!Span.now_ns} for spans whose start was captured earlier. *)
+
+  val span_begin : string -> int -> unit
+  val span_begin_d : string -> string -> int -> unit
+  val span_begin_at : string -> int -> int -> unit
+  val span_end : string -> unit
+  val span_end_at : string -> int -> unit
+  val instant : string -> int -> unit
+  val instant_d : string -> string -> int -> unit
+  val instant_at : string -> int -> int -> unit
+  val counter : string -> int -> unit
+
+  (** {2 Introspection and export} *)
+
+  val emitted : unit -> int
+  (** Total events emitted since the last {!clear}, including those
+      already overwritten by wraparound. *)
+
+  val stored : unit -> int
+  (** Events currently retained across all rings
+      ([min emitted capacity] per shard). *)
+
+  type phase = B | E | I | C
+
+  type event = {
+    ev_ts : int;
+    ev_shard : int;
+    ev_seq : int;
+    ev_phase : phase;
+    ev_name : string;
+    ev_detail : string;
+    ev_arg : int;
+  }
+
+  val events : unit -> event list
+  (** The retained window, merged across shards and sorted by
+      (timestamp, shard, sequence) — deterministic for a fixed ring
+      state. *)
+
+  val dump : unit -> string
+  (** One line per event:
+      [ts shard seq phase name arg=N \[detail=...\]], in {!events}
+      order.  The deterministic text form tests assert against. *)
+
+  val chrome_json : unit -> string
+  (** The retained window as Chrome trace-event JSON
+      ([{"traceEvents": [...]}]) loadable in Perfetto or
+      chrome://tracing.  Timestamps in microseconds, tid = shard. *)
+
+  val write : string -> unit
+  (** ["-"] prints the text dump to stdout; a [.json] path writes
+      {!chrome_json}; any other path writes {!dump}.  File writes are
+      atomic as for {!Obs.write}. *)
+end
+
+(** {1 Runtime self-telemetry} *)
+
+module Runtime : sig
+  val sample : unit -> unit
+  (** Record GC deltas since the previous call into the
+      [dcl_runtime_*] gauges (minor/major words, minor/major
+      collections, heap words) via [Gc.quick_stat].  Gated on the
+      metrics flag.  Call from one domain only (the fleet driver calls
+      it once per epoch); the previous-sample state is unsynchronized
+      by design. *)
+end
+
+(** {1 Admin endpoint} *)
+
+module Admin : sig
+  (** Dependency-free blocking HTTP/1.1 admin server on a dedicated
+      domain.  GET-only, one connection at a time,
+      [Connection: close] — introspection plumbing, not a web
+      server.
+
+      Routes split in two: the [fast] callback answers on the server
+      domain and must only touch domain-safe state (the metrics
+      registry's atomics); any path it declines is parked on a pending
+      queue that the driving thread serves with {!serve_pending},
+      so driver-owned structures are only read from the domain that
+      mutates them. *)
+
+  type t
+
+  val start :
+    ?host:string -> port:int -> fast:(string -> (string * string) option) -> unit -> t
+  (** Bind [host] (default ["127.0.0.1"]) on [port] (0 picks an
+      ephemeral port — see {!port}) and spawn the server domain.
+      [fast path] returns [Some (content_type, body)] to answer
+      immediately, [None] to defer to {!serve_pending}.  Raises
+      [Invalid_argument] for a port outside [\[0, 65535\]] and
+      [Unix.Unix_error] if the bind fails. *)
+
+  val port : t -> int
+  (** The bound port (the actual one when [port:0] was requested). *)
+
+  val serve_pending : t -> handle:(string -> (string * string) option) -> int
+  (** Drain queued slow-route requests in arrival order: [handle path]
+      returns [Some (content_type, body)] for a 200, [None] for a 404;
+      an exception inside [handle] answers 500 and keeps serving.
+      Returns the number of requests served.  Call from the driving
+      domain. *)
+
+  val stop : t -> unit
+  (** Stop accepting, answer any still-queued request with 503, wake
+      and join the server domain, close the socket.  Idempotent on the
+      queue but call it once, from the domain that called {!start}. *)
+end

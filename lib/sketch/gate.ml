@@ -38,6 +38,24 @@ let suspect cfg ~loss ~drift =
   Stats.Float_cmp.geq loss cfg.loss_threshold
   || Stats.Float_cmp.geq drift cfg.drift_threshold
 
+type cause = Loss | Drift | Both
+
+(* Static strings so forensic consumers (trace events, timelines) can
+   store the cause without allocating per emission. *)
+let cause_name = function
+  | Loss -> "loss-ewma"
+  | Drift -> "drift"
+  | Both -> "loss-ewma+drift"
+
+let suspect_cause cfg ~loss ~drift =
+  let l = Stats.Float_cmp.geq loss cfg.loss_threshold in
+  let d = Stats.Float_cmp.geq drift cfg.drift_threshold in
+  match (l, d) with
+  | true, true -> Some Both
+  | true, false -> Some Loss
+  | false, true -> Some Drift
+  | false, false -> None
+
 let calm cfg ~loss ~drift =
   Stats.Float_cmp.lt loss (cfg.demote_margin *. cfg.loss_threshold)
   && Stats.Float_cmp.lt drift (cfg.demote_margin *. cfg.drift_threshold)

@@ -44,6 +44,17 @@ val config :
 val suspect : config -> loss:float -> drift:float -> bool
 (** Either signal at or above its promotion threshold. *)
 
+type cause = Loss | Drift | Both
+(** Which signal(s) crossed: the forensic refinement of {!suspect}. *)
+
+val cause_name : cause -> string
+(** Static display name: ["loss-ewma"], ["drift"],
+    ["loss-ewma+drift"].  Never allocates. *)
+
+val suspect_cause : config -> loss:float -> drift:float -> cause option
+(** [Some c] exactly when {!suspect} holds, refined by which
+    threshold(s) were crossed. *)
+
 val calm : config -> loss:float -> drift:float -> bool
 (** Both signals strictly below their margin-shrunk thresholds. *)
 

@@ -116,15 +116,28 @@ let eval_chunks ~items_c j =
     j.next <- hi;
     j.in_flight <- j.in_flight + 1;
     Mutex.unlock mutex;
+    let tr = Obs.Trace.enabled () in
     let t0 =
-      if Obs.enabled () then begin
+      if Obs.enabled () || tr then begin
         let t0 = Obs.Span.now_ns () in
-        if j.submitted_ns <> 0 then
-          Obs.Histogram.observe m_queue_wait
-            (float_of_int (t0 - j.submitted_ns) *. 1e-9);
-        Obs.Counter.incr m_chunks;
-        Obs.Counter.add m_items (hi - lo);
-        Obs.Counter.add items_c (hi - lo);
+        if Obs.enabled () then begin
+          if j.submitted_ns <> 0 then
+            Obs.Histogram.observe m_queue_wait
+              (float_of_int (t0 - j.submitted_ns) *. 1e-9);
+          Obs.Counter.incr m_chunks;
+          Obs.Counter.add m_items (hi - lo);
+          Obs.Counter.add items_c (hi - lo)
+        end;
+        if tr then begin
+          (* The queue-wait span reconstructs the gap between job
+             submission and this chunk starting, on the shard of the
+             domain that picked the chunk up; arg = first item index. *)
+          if j.submitted_ns <> 0 then begin
+            Obs.Trace.span_begin_at "pool.queue_wait" lo j.submitted_ns;
+            Obs.Trace.span_end_at "pool.queue_wait" t0
+          end;
+          Obs.Trace.span_begin_at "pool.chunk" lo t0
+        end;
         t0
       end
       else 0
@@ -139,6 +152,7 @@ let eval_chunks ~items_c j =
         None
       with e -> Some (!i, e)
     in
+    if tr then Obs.Trace.span_end "pool.chunk";
     Mutex.lock mutex;
     if t0 <> 0 then begin
       let d = Obs.Span.now_ns () - t0 in
@@ -241,7 +255,9 @@ let run ?chunk ~participants n runit =
           | Some c -> min c n
           | None -> max 1 (n / (participants * 4))
         in
-        let submitted_ns = if Obs.enabled () then Obs.Span.now_ns () else 0 in
+        let submitted_ns =
+          if Obs.enabled () || Obs.Trace.enabled () then Obs.Span.now_ns () else 0
+        in
         Obs.Counter.incr m_jobs;
         let j =
           {

@@ -451,6 +451,113 @@ let test_workspace_cache () =
   Alcotest.(check bool) "cache counts both shapes" true
     (Fleet.Workspace_cache.cached () >= 2)
 
+(* --- diagnosis timeline ------------------------------------------------ *)
+
+let test_timeline_wraparound () =
+  let tl = Fleet.Timeline.create ~capacity:3 in
+  Alcotest.(check int) "capacity as requested" 3 (Fleet.Timeline.capacity tl);
+  for e = 1 to 7 do
+    Fleet.Timeline.record tl
+      (Fleet.Timeline.Update
+         {
+           epoch = e;
+           verdict = None;
+           log_likelihood = -1.5;
+           weight = float_of_int e;
+           bound = None;
+         })
+  done;
+  Alcotest.(check int) "total counts past capacity" 7 (Fleet.Timeline.total tl);
+  Alcotest.(check int) "length capped at capacity" 3 (Fleet.Timeline.length tl);
+  let epochs =
+    List.map
+      (function
+        | Fleet.Timeline.Update u -> u.epoch
+        | Fleet.Timeline.Gate g -> g.epoch
+        | Fleet.Timeline.Reset r -> r.epoch)
+      (Fleet.Timeline.entries tl)
+  in
+  Alcotest.(check (list int)) "newest window, oldest-first" [ 5; 6; 7 ] epochs
+
+let test_timeline_entry_kinds_and_json () =
+  let tl = Fleet.Timeline.create ~capacity:8 in
+  Fleet.Timeline.record tl
+    (Fleet.Timeline.Update
+       {
+         epoch = 1;
+         verdict = Some Dcl.Identify.Strongly_dominant;
+         log_likelihood = -2.25;
+         weight = 32.;
+         bound = Some 0.75;
+       });
+  Fleet.Timeline.record tl
+    (Fleet.Timeline.Gate
+       { epoch = 2; promoted = true; cause = "loss-ewma"; streak = 3 });
+  Fleet.Timeline.record tl (Fleet.Timeline.Reset { epoch = 3 });
+  Fleet.Timeline.record tl
+    (Fleet.Timeline.Update
+       {
+         epoch = 4;
+         verdict = None;
+         log_likelihood = Float.neg_infinity;
+         weight = 0.;
+         bound = None;
+       });
+  Alcotest.(check int) "all entries retained" 4 (Fleet.Timeline.length tl);
+  let js = Fleet.Timeline.to_json tl in
+  let contains sub =
+    let n = String.length js and m = String.length sub in
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + m <= n do
+      if String.sub js !i m = sub then found := true else incr i
+    done;
+    !found
+  in
+  Alcotest.(check bool) "verdict named" true (contains "strongly-dominant");
+  Alcotest.(check bool) "gate cause present" true (contains "loss-ewma");
+  Alcotest.(check bool) "reset entry present" true (contains "reset");
+  (* Non-finite floats must not leak into the JSON (they are not valid
+     JSON number literals) — the exporter nulls them. *)
+  Alcotest.(check bool) "no bare infinity token" false (contains "inf");
+  Alcotest.(check bool) "non-finite exported as null" true (contains "null")
+
+let test_timeline_capacity_zero () =
+  let tl = Fleet.Timeline.create ~capacity:0 in
+  Fleet.Timeline.record tl (Fleet.Timeline.Reset { epoch = 1 });
+  Alcotest.(check int) "record is a no-op" 0 (Fleet.Timeline.total tl);
+  Alcotest.(check int) "no entries" 0 (List.length (Fleet.Timeline.entries tl));
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Fleet.Timeline.create: capacity must be non-negative")
+    (fun () -> ignore (Fleet.Timeline.create ~capacity:(-1)))
+
+(* Path_state threads every update, gate flip, and reset through its
+   timeline: drive one path with the scheduler's own machinery and
+   check the history lines up with the observable state. *)
+let test_path_state_records_timeline () =
+  let cfg =
+    Fleet.Path_state.config ~timeline_capacity:16
+      ~scheme:(Dcl.Discretize.of_range ~m:5 ~lo:0.02 ~hi:0.07)
+      ()
+  in
+  let p = Fleet.Path_state.create cfg ~rng:(Stats.Rng.create 11) in
+  let ws = Em.workspace () in
+  let batch =
+    Array.init 64 (fun i -> if i mod 9 = 0 then None else Some (i mod 5))
+  in
+  ignore (Fleet.Path_state.update ~ws p batch : bool);
+  ignore (Fleet.Path_state.update ~ws ~epoch:9 p batch : bool);
+  let tl = Fleet.Path_state.timeline p in
+  Alcotest.(check int) "one entry per update" 2 (Fleet.Timeline.total tl);
+  match Fleet.Timeline.entries tl with
+  | [ Fleet.Timeline.Update u1; Fleet.Timeline.Update u2 ] ->
+      Alcotest.(check int) "default epoch stamp is the epoch counter" 1
+        u1.epoch;
+      Alcotest.(check int) "explicit epoch stamp wins" 9 u2.epoch;
+      Alcotest.(check bool) "recorded weight is positive" true
+        (u2.weight > 0.)
+  | _ -> Alcotest.fail "expected exactly two Update entries"
+
 (* --- source ------------------------------------------------------------ *)
 
 let test_synthetic_source_deterministic () =
@@ -533,6 +640,15 @@ let () =
         ] );
       ( "workspace-cache",
         [ Alcotest.test_case "keyed by shape" `Quick test_workspace_cache ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_timeline_wraparound;
+          Alcotest.test_case "entry kinds and json" `Quick
+            test_timeline_entry_kinds_and_json;
+          Alcotest.test_case "capacity zero" `Quick test_timeline_capacity_zero;
+          Alcotest.test_case "path-state records history" `Quick
+            test_path_state_records_timeline;
+        ] );
       ( "source",
         [
           Alcotest.test_case "deterministic" `Quick

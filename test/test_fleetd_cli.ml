@@ -46,13 +46,147 @@ let test_gate_validation () =
   check_rejected "gate loss negative" [ "--gate"; "--gate-loss"; "-0.1" ];
   check_rejected "gate drift negative" [ "--gate"; "--gate-drift"; "-1" ]
 
+let test_admin_validation () =
+  check_rejected "listen port negative" [ "--listen"; "-1" ];
+  check_rejected "listen port above 65535" [ "--listen"; "65536" ];
+  check_rejected "listen port not a number" [ "--listen"; "http" ];
+  check_rejected "metrics interval zero" [ "--metrics-interval"; "0" ];
+  check_rejected "metrics interval negative" [ "--metrics-interval"; "-2" ];
+  check_rejected "linger negative" [ "--linger"; "-1" ]
+
 let tiny = [ "--paths"; "4"; "--epochs"; "2"; "--epoch"; "8"; "--seed"; "3" ]
 
 let test_valid_runs () =
   Alcotest.(check int) "tiny synthetic run" 0 (run tiny);
   Alcotest.(check int) "tiny gated run" 0 (run (tiny @ [ "--gate" ]));
   Alcotest.(check int) "boundary values accepted" 0
-    (run (tiny @ [ "--lambda"; "1.0"; "--congested-fraction"; "1.0" ]))
+    (run (tiny @ [ "--lambda"; "1.0"; "--congested-fraction"; "1.0" ]));
+  Alcotest.(check int) "ephemeral listen port accepted" 0
+    (run (tiny @ [ "--listen"; "0"; "--metrics-interval"; "2" ]))
+
+(* --- live endpoint smoke ------------------------------------------------ *)
+
+(* Launch the daemon with --listen 0, parse the announced ephemeral
+   port from its stdout, and exercise the admin routes over a real
+   socket while the run lingers.  The linger window is generous (the
+   whole test takes well under a second of it) and the daemon exits by
+   itself when it closes. *)
+
+let http_get port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+      path
+  in
+  let _ = Unix.write_substring sock req 0 (String.length req) in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let k = Unix.read sock chunk 0 4096 in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      drain ()
+    end
+  in
+  drain ();
+  Buffer.contents buf
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* The daemon announces "admin: listening on http://127.0.0.1:PORT". *)
+let parse_port out =
+  let marker = "http://127.0.0.1:" in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length out then None
+    else if String.sub out i ml = marker then begin
+      let j = ref (i + ml) in
+      while
+        !j < String.length out && out.[!j] >= '0' && out.[!j] <= '9'
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub out (i + ml) (!j - i - ml))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let test_live_endpoint () =
+  let out_path = Filename.temp_file "fleetd_cli" ".out" in
+  Fun.protect ~finally:(fun () -> try Sys.remove out_path with Sys_error _ -> ())
+  @@ fun () ->
+  let out_fd =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let args =
+    [|
+      exe; "--paths"; "8"; "--epochs"; "40"; "--epoch"; "8"; "--seed"; "3";
+      "--listen"; "0"; "--linger"; "30";
+    |]
+  in
+  (* DCL_TRACE through the environment is the no-dump opt-in path — a
+     regression here once left the flag set but the rings unallocated,
+     so /trace served an empty event list. *)
+  let env = Array.append (Unix.environment ()) [| "DCL_TRACE=1" |] in
+  let pid = Unix.create_process_env exe args env Unix.stdin out_fd Unix.stderr in
+  Unix.close out_fd;
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+  @@ fun () ->
+  (* Poll for the announced port: the daemon prints it right after
+     binding, well before the epochs finish. *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec wait_port () =
+    match parse_port (read_file out_path) with
+    | Some p -> p
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "daemon never announced its admin port"
+        else begin
+          Unix.sleepf 0.05;
+          wait_port ()
+        end
+  in
+  let port = wait_port () in
+  let health = http_get port "/healthz" in
+  Alcotest.(check bool) "healthz 200" true (contains health "200 OK");
+  (* Slow routes are served by the driver between epochs (and during
+     the linger window), so they may take an epoch's latency — the
+     blocking socket read already waits for it. *)
+  let paths = http_get port "/paths" in
+  Alcotest.(check bool) "paths summary 200" true (contains paths "200 OK");
+  Alcotest.(check bool) "summary counts the fleet" true
+    (contains paths "\"paths\":8");
+  let p0 = http_get port "/paths/0" in
+  Alcotest.(check bool) "path detail 200" true (contains p0 "200 OK");
+  Alcotest.(check bool) "path detail has a timeline" true
+    (contains p0 "\"timeline\"");
+  let missing = http_get port "/paths/999" in
+  Alcotest.(check bool) "out-of-range path is 404" true
+    (contains missing "404 Not Found");
+  let unknown = http_get port "/nope" in
+  Alcotest.(check bool) "unknown route is 404" true
+    (contains unknown "404 Not Found");
+  let trace = http_get port "/trace" in
+  Alcotest.(check bool) "trace 200" true (contains trace "200 OK");
+  Alcotest.(check bool) "env-enabled recorder captured events" true
+    (contains trace "\"name\":\"fleet.epoch\"")
 
 let () =
   if not (Sys.file_exists exe) then begin
@@ -71,7 +205,10 @@ let () =
             test_congested_fraction_validation;
           Alcotest.test_case "source keyword" `Quick test_source_validation;
           Alcotest.test_case "gate parameters" `Quick test_gate_validation;
+          Alcotest.test_case "admin flags" `Quick test_admin_validation;
         ] );
       ( "accepted",
         [ Alcotest.test_case "valid invocations" `Quick test_valid_runs ] );
+      ( "endpoint",
+        [ Alcotest.test_case "live admin routes" `Quick test_live_endpoint ] );
     ]
