@@ -11,6 +11,7 @@ let create () = { heap = [||]; size = 0; next_seq = 0 }
 let is_empty t = t.size = 0
 let length t = t.size
 
+(* lint: allow R3 exact tie on timestamps falls through to seq; a tolerance would reorder events *)
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t entry =

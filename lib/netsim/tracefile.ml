@@ -115,5 +115,7 @@ let drops_per_flow events =
       if e.kind = Drop then
         Hashtbl.replace tbl e.flow (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.flow)))
     events;
+  (* Sorted at the collection point: the fold's iteration order is
+     unspecified (R8) and must not leak into the per-flow report. *)
   Hashtbl.fold (fun flow n acc -> (flow, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -7,6 +7,7 @@
 
 external now_ns_ext : unit -> int = "dcl_obs_now_ns" [@@noalloc]
 
+(* lint: owner shared *)
 let flag = Atomic.make false
 
 let () =
@@ -59,6 +60,7 @@ type metric = {
 
 (* Registration is rare (module initialization, pool worker spawn) and
    the only mutex in the module; recording never touches it. *)
+(* lint: owner shared guarded-by reg_mutex *)
 let registry : (string * (string * string) list, metric) Hashtbl.t = Hashtbl.create 64
 let reg_mutex = Mutex.create ()
 
@@ -70,14 +72,18 @@ let kind_name = function
 let register ~labels ~help name fresh project =
   Mutex.lock reg_mutex;
   let m =
-    match Hashtbl.find_opt registry (name, labels) with
-    | Some m -> m
-    | None ->
-        let m = { name; labels; help; kind = fresh () } in
-        Hashtbl.add registry (name, labels) m;
-        m
+    (* [fresh] allocates caller-supplied cells and may raise; do not
+       leave the registry lock held if it does. *)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock reg_mutex)
+      (fun () ->
+        match Hashtbl.find_opt registry (name, labels) with
+        | Some m -> m
+        | None ->
+            let m = { name; labels; help; kind = fresh () } in
+            Hashtbl.add registry (name, labels) m;
+            m)
   in
-  Mutex.unlock reg_mutex;
   match project m.kind with
   | Some v -> v
   | None ->
@@ -127,6 +133,7 @@ module Gauge = struct
 end
 
 module Histogram = struct
+  (* lint: allow R7 constant bucket table; written nowhere after initialization *)
   let default_latency_buckets =
     [|
       1e-6; 1e-5; 1e-4; 2.5e-4; 1e-3; 2.5e-3; 1e-2; 2.5e-2; 0.1; 0.25; 1.; 2.5;
@@ -262,12 +269,18 @@ end
 
 let sorted_metrics () =
   Mutex.lock reg_mutex;
-  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
-  Mutex.unlock reg_mutex;
-  List.sort
-    (fun a b ->
-      match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
-    ms
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg_mutex)
+    (fun () ->
+      (* Sort at the collection point: the Hashtbl fold observes
+         unspecified iteration order (R8), which must not reach the
+         exported snapshot. *)
+      List.sort
+        (fun a b ->
+          match compare a.name b.name with
+          | 0 -> compare a.labels b.labels
+          | c -> c)
+        (Hashtbl.fold (fun _ m acc -> m :: acc) registry []))
 
 (* %.17g-style shortest-exact is overkill here; %g is stable for equal
    inputs, which is all snapshot determinism needs. *)
@@ -452,6 +465,7 @@ let reset () =
 (* --- Flight recorder ---------------------------------------------------- *)
 
 module Trace = struct
+  (* lint: owner shared *)
   let tflag = Atomic.make false
 
   type phase = B | E | I | C
@@ -476,6 +490,7 @@ module Trace = struct
      domain owns its ring exclusively, so slot writes are single-writer;
      the cursor is atomic so a (theoretical) shard collision still hands
      out distinct sequence numbers. *)
+  (* lint: owner shared *)
   let rings : ring array option Atomic.t = Atomic.make None
 
   let default_capacity = 4096
@@ -702,6 +717,7 @@ module Runtime = struct
 
   (* Previous-sample state.  [sample] is documented driver-domain-only,
      so a plain mutable cell suffices. *)
+  (* lint: owner driver *)
   let last = ref None
 
   let sample () =
@@ -847,11 +863,19 @@ module Admin = struct
                   if not queued then respond 503 "text/plain" "shutting down\n"
                   else begin
                     Mutex.lock p.p_mutex;
-                    while p.p_response = None do
-                      Condition.wait p.p_cond p.p_mutex
-                    done;
-                    let status, ct, body = Option.get p.p_response in
-                    Mutex.unlock p.p_mutex;
+                    let status, ct, body =
+                      (* [Option.get] after the wait loop cannot raise
+                         (the loop exits only once a response is set),
+                         but keep the span protected so a future edit
+                         cannot park the connection with the lock held. *)
+                      Fun.protect
+                        ~finally:(fun () -> Mutex.unlock p.p_mutex)
+                        (fun () ->
+                          while p.p_response = None do
+                            Condition.wait p.p_cond p.p_mutex
+                          done;
+                          Option.get p.p_response)
+                    in
                     respond status ct body
                   end)));
     try Unix.close fd with Unix.Unix_error _ -> ()

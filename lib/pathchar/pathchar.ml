@@ -72,7 +72,10 @@ let on_reply c (pkt : Packet.t) =
       | Some _ | None -> Hashtbl.replace c.min_rtt key rtt)
 
 let estimate c =
-  (* Per-hop line fits on the per-size minima. *)
+  (* Per-hop line fits on the per-size minima.  [min_rtt] is only ever
+     read by keyed [find_opt] in the fixed (hop, size) order below —
+     never iterated — so Hashtbl iteration order (R8) cannot reach the
+     estimates. *)
   let fits =
     Array.init c.hops (fun i ->
         let hop = i + 1 in

@@ -1,3 +1,4 @@
+(* lint: owner driver *)
 let spawn_per_call = ref false
 
 (* PR 1's fork–join implementation: spawn fresh domains for every call.

@@ -75,10 +75,14 @@ let work = Condition.create ()
 let idle = Condition.create ()
 
 (* At most one job at a time; [submit] serializes callers. *)
+(* lint: owner shared guarded-by mutex *)
 let current : job option ref = ref None
 let submit_mutex = Mutex.create ()
+(* lint: owner shared guarded-by submit_mutex *)
 let spawned = ref 0
+(* lint: owner shared guarded-by submit_mutex *)
 let handles : unit Domain.t list ref = ref []
+(* lint: owner shared guarded-by mutex *)
 let quit = ref false
 
 (* Set while the current domain is evaluating chunks, so a nested
@@ -94,6 +98,7 @@ let worker_count () = !spawned
 (* Worker cap: machine size minus the participating caller, unless
    overridden (tests and benches raise it to exercise the concurrent
    path on small machines). *)
+(* lint: owner driver *)
 let capacity_override = ref None
 let capacity () = match !capacity_override with Some c -> c | None -> size () - 1
 let set_capacity c =
@@ -153,6 +158,7 @@ let eval_chunks ~items_c j =
       with e -> Some (!i, e)
     in
     if tr then Obs.Trace.span_end "pool.chunk";
+    (* lint: allow R9 hand-over-hand: eval_chunks runs with [mutex] held at loop entry and exit; this reacquire pairs with the release at the top of the loop *)
     Mutex.lock mutex;
     if t0 <> 0 then begin
       let d = Obs.Span.now_ns () - t0 in
@@ -173,6 +179,7 @@ let eval_chunks ~items_c j =
   if j.in_flight = 0 then Condition.broadcast idle
 
 let rec worker_loop items_c =
+  (* lint: allow R9 both match arms unlock; eval_chunks records item exceptions instead of raising (see its header comment) *)
   Mutex.lock mutex;
   let job = ref None in
   while
@@ -226,71 +233,81 @@ let run ?chunk ~participants n runit =
       done
     else begin
       Mutex.lock submit_mutex;
-      let participants = max 1 (min participants n) in
-      ensure_workers (participants - 1);
-      if !spawned = 0 then begin
-        Mutex.unlock submit_mutex;
-        (* No workers to hand the job to (single-core machine or zero
-           capacity): the caller evaluates every item itself.  Still a
-           submitted pool job, so account for it. *)
-        if Obs.enabled () then begin
-          Obs.Counter.incr m_jobs;
-          Obs.Counter.add m_items n;
-          Obs.Counter.add caller_items n
-        end;
-        for i = 0 to n - 1 do
-          runit i
-        done
-      end
-      else begin
-        (* Small chunks (a quarter of an even split) let finished
-           domains steal remaining work from slow ones; for the common
-           restart-racing case (n = participants) the chunk is 1.
-           Callers with many cheap skewed items (the fleet scheduler's
-           per-path epoch updates) override the split: a fixed small
-           chunk bounds the straggler tail without per-item queue
-           traffic. *)
-        let chunk =
-          match chunk with
-          | Some c -> min c n
-          | None -> max 1 (n / (participants * 4))
-        in
-        let submitted_ns =
-          if Obs.enabled () || Obs.Trace.enabled () then Obs.Span.now_ns () else 0
-        in
-        Obs.Counter.incr m_jobs;
-        let j =
-          {
-            run = runit;
-            n;
-            chunk;
-            next = 0;
-            in_flight = 0;
-            failed = None;
-            submitted_ns;
-            busy_ns = 0;
-          }
-        in
-        Mutex.lock mutex;
-        current := Some j;
-        Condition.broadcast work;
-        eval_chunks ~items_c:caller_items j;
-        while j.next < j.n || j.in_flight > 0 do
-          Condition.wait idle mutex
-        done;
-        current := None;
-        Mutex.unlock mutex;
-        if submitted_ns <> 0 then begin
-          (* Busy fraction of the domains that could have worked on the
-             job: evaluation time over concurrency * makespan. *)
-          let wall = Obs.Span.now_ns () - submitted_ns in
-          let concurrency = min participants (!spawned + 1) in
-          if wall > 0 then
-            Obs.Gauge.set m_utilization
-              (float_of_int j.busy_ns
-              /. (float_of_int wall *. float_of_int concurrency))
-        end;
-        Mutex.unlock submit_mutex;
-        match j.failed with Some (_, e) -> raise e | None -> ()
-      end
+      let finished =
+        (* [ensure_workers] can raise (domain spawn is resource-bound);
+           never leave with the submission lock held. *)
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock submit_mutex)
+          (fun () ->
+            let participants = max 1 (min participants n) in
+            ensure_workers (participants - 1);
+            if !spawned = 0 then None
+            else begin
+              (* Small chunks (a quarter of an even split) let finished
+                 domains steal remaining work from slow ones; for the common
+                 restart-racing case (n = participants) the chunk is 1.
+                 Callers with many cheap skewed items (the fleet scheduler's
+                 per-path epoch updates) override the split: a fixed small
+                 chunk bounds the straggler tail without per-item queue
+                 traffic. *)
+              let chunk =
+                match chunk with
+                | Some c -> min c n
+                | None -> max 1 (n / (participants * 4))
+              in
+              let submitted_ns =
+                if Obs.enabled () || Obs.Trace.enabled () then Obs.Span.now_ns ()
+                else 0
+              in
+              Obs.Counter.incr m_jobs;
+              let j =
+                {
+                  run = runit;
+                  n;
+                  chunk;
+                  next = 0;
+                  in_flight = 0;
+                  failed = None;
+                  submitted_ns;
+                  busy_ns = 0;
+                }
+              in
+              (* lint: allow R9 eval_chunks records item exceptions instead of raising, and the Condition traffic around it is no-raise *)
+              Mutex.lock mutex;
+              current := Some j;
+              Condition.broadcast work;
+              eval_chunks ~items_c:caller_items j;
+              while j.next < j.n || j.in_flight > 0 do
+                Condition.wait idle mutex
+              done;
+              current := None;
+              Mutex.unlock mutex;
+              if submitted_ns <> 0 then begin
+                (* Busy fraction of the domains that could have worked on the
+                   job: evaluation time over concurrency * makespan. *)
+                let wall = Obs.Span.now_ns () - submitted_ns in
+                let concurrency = min participants (!spawned + 1) in
+                if wall > 0 then
+                  Obs.Gauge.set m_utilization
+                    (float_of_int j.busy_ns
+                    /. (float_of_int wall *. float_of_int concurrency))
+              end;
+              Some j
+            end)
+      in
+      match finished with
+      | None ->
+          (* No workers to hand the job to (single-core machine or zero
+             capacity): the caller evaluates every item itself.  Still a
+             submitted pool job, so account for it. *)
+          if Obs.enabled () then begin
+            Obs.Counter.incr m_jobs;
+            Obs.Counter.add m_items n;
+            Obs.Counter.add caller_items n
+          end;
+          for i = 0 to n - 1 do
+            runit i
+          done
+      | Some j -> (
+          match j.failed with Some (_, e) -> raise e | None -> ())
     end

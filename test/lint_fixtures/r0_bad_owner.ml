@@ -1,0 +1,5 @@
+(* lint-fixture: bin/fixtures/r0_owner.ml *)
+(* lint: owner chef *) (* expect: R0 *)
+(* lint: owner shared guarded-by *) (* expect: R0 *)
+(* lint: owner driver guarded-by m *) (* expect: R0 *)
+let x = 1

@@ -1,0 +1,12 @@
+(* lint-fixture: lib/fleet/r0_dangling_owner.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* An owner annotation must sit on (or directly above) a top-level
+   mutable binding; attached to a function it is malformed, and
+   floating free it is dangling. *)
+
+(* lint: owner driver *)
+let plain_function x = x + 1 (* expect: R0 *)
+
+(* lint: owner worker *) (* expect: R0 *)
+
+let far_away = ref 0 (* expect: R7 *)

@@ -1,0 +1,5 @@
+(* lint-fixture: lib/fleet/r3_typed_suppressed.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+let eq (a : float) b =
+  (* lint: allow R3 fixture exercises suppression of the typed float-cmp rule *)
+  a = b

@@ -1,0 +1,8 @@
+(* lint-fixture: lib/fleet/r3_typed_violation.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* No float literal, no float arithmetic, no registered ident: only the
+   typedtree knows these operands are floats. *)
+
+let eq (a : float) b = a = b (* expect: R3 *)
+
+let cmp (a : float) b = compare a b (* expect: R3 *)

@@ -1,0 +1,9 @@
+(* lint-fixture: lib/fleet/r5_alias_suppressed.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* lint: hot *)
+let fast_get = Bigarray.Array1.unsafe_get
+(* lint: end-hot *)
+
+let read (buf : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) i =
+  (* lint: allow R5 index is validated by the caller; fixture exercises suppression *)
+  fast_get buf i

@@ -1,0 +1,11 @@
+(* lint-fixture: lib/fleet/r5_alias_violation.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* Renaming an unsafe accessor does not launder it: the typed pass
+   tracks the alias through the let-binding. *)
+
+(* lint: hot *)
+let fast_get = Bigarray.Array1.unsafe_get
+(* lint: end-hot *)
+
+let read (buf : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) i =
+  fast_get buf i (* expect: R5 *)

@@ -1,0 +1,8 @@
+(* lint-fixture: lib/fleet/r7_missing_owner.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+let counter = ref 0 (* expect: R7 *)
+let bump () = incr counter
+
+(* A worker-owned cell with its annotation in place is fine. *)
+(* lint: owner worker *)
+let scratch = ref 0

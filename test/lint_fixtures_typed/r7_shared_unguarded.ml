@@ -1,0 +1,15 @@
+(* lint-fixture: lib/fleet/r7_shared_unguarded.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* [shared] must synchronize: Atomic-typed, or guarded-by a named
+   mutex. *)
+
+(* lint: owner shared *)
+let registry : (string, int) Hashtbl.t = Hashtbl.create 8 (* expect: R7 *)
+
+let reg_mutex = Mutex.create ()
+
+(* lint: owner shared guarded-by reg_mutex *)
+let guarded : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* lint: owner shared *)
+let flag = Atomic.make false

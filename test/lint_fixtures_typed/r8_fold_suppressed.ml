@@ -1,0 +1,5 @@
+(* lint-fixture: lib/fleet/r8_fold_suppressed.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+let count (h : (string, int) Hashtbl.t) =
+  (* lint: allow R8 commutative sum; iteration order cannot show in the result *)
+  Hashtbl.fold (fun _ v acc -> v + acc) h 0

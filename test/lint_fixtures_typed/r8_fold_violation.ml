@@ -1,0 +1,10 @@
+(* lint-fixture: lib/fleet/r8_fold_violation.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+let snapshot (h : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] (* expect: R8 *)
+
+(* Sorting at the collection point makes the iteration order
+   irrelevant: no diagnostic. *)
+let snapshot_sorted (h : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,9 @@
+(* lint-fixture: lib/fleet/r8_physeq_wallclock.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+let same_box (a : float) (b : float) = a == b (* expect: R8 *)
+
+let stamp () = Sys.time () (* expect: R8 *)
+
+let stamp_allowed () =
+  (* lint: allow R8 fixture demonstrates suppressing a wall-clock read *)
+  Sys.time ()

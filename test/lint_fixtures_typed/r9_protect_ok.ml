@@ -1,0 +1,22 @@
+(* lint-fixture: lib/fleet/r9_protect_ok.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* The sanctioned shapes: Fun.protect guarding a raising span, and a
+   provably no-raise span with a direct unlock. *)
+
+let m = Mutex.create ()
+
+(* lint: owner shared guarded-by m *)
+let items : int list ref = ref []
+
+let register_protected f =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () ->
+      let v = f () in
+      items := v :: !items)
+
+let push v =
+  Mutex.lock m;
+  items := v :: !items;
+  Mutex.unlock m

@@ -1,0 +1,13 @@
+(* lint-fixture: lib/fleet/r9_suppressed.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+let m = Mutex.create ()
+
+(* lint: owner shared guarded-by m *)
+let items : int list ref = ref []
+
+let register f =
+  (* lint: allow R9 f is documented no-raise; fixture exercises suppression *)
+  Mutex.lock m;
+  let v = f () in
+  items := v :: !items;
+  Mutex.unlock m

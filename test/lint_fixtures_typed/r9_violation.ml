@@ -1,0 +1,16 @@
+(* lint-fixture: lib/fleet/r9_violation.ml *) (* lint: allow R6 fixture module has no interface by design *)
+
+(* The shape of the lock-leak this rule exists for: a callback runs
+   between lock and unlock, so an exception escapes with the mutex
+   held.  Mirrors the pre-fix Obs.register. *)
+
+let m = Mutex.create ()
+
+(* lint: owner shared guarded-by m *)
+let items : int list ref = ref []
+
+let register f =
+  Mutex.lock m; (* expect: R9 *)
+  let v = f () in
+  items := v :: !items;
+  Mutex.unlock m

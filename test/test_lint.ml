@@ -132,10 +132,26 @@ let test_bad_directives () =
   check_diags "allow without a reason is R0, and does not suppress"
     [ (1, "R0"); (2, "R3") ]
     (lint "(* lint: allow R3 *)\nlet f x = x = 1.0\n");
-  check_diags "unknown rule id" [ (1, "R0") ] (lint "(* lint: allow R9 reason *)\n");
+  check_diags "unknown rule id" [ (1, "R0") ] (lint "(* lint: allow R12 reason *)\n");
   check_diags "unclosed hot fence" [ (1, "R0") ] (lint "(* lint: hot *)\nlet x = 1\n");
   check_diags "R0 cannot be suppressed" [ (1, "R0"); (2, "R0") ]
     (lint "(* lint: allow R0 reason *)\n(* lint: allow R3 *)\n")
+
+let test_owner_directives () =
+  check_diags "unknown owner kind is R0" [ (1, "R0") ]
+    (lint "(* lint: owner chef *)\nlet x = ref 0\n");
+  check_diags "guarded-by without a mutex name is R0" [ (1, "R0") ]
+    (lint "(* lint: owner shared guarded-by *)\nlet x = ref 0\n");
+  check_diags "guarded-by only qualifies owner shared" [ (1, "R0") ]
+    (lint "(* lint: owner driver guarded-by m *)\nlet x = ref 0\n");
+  check_diags "well-formed owner annotations parse clean" []
+    (lint
+       "(* lint: owner driver *)\n\
+        let a = ref 0\n\
+        (* lint: owner worker *)\n\
+        let b = ref 0\n\
+        (* lint: owner shared guarded-by m *)\n\
+        let c = ref 0\n")
 
 (* --- CLI exit codes --------------------------------------------------- *)
 
@@ -146,16 +162,191 @@ let test_cli_exit_codes () =
   Alcotest.(check int) "no paths exits 2" 2 (Dcl_lint.Cli.run []);
   Alcotest.(check int) "missing path exits 2" 2 (Dcl_lint.Cli.run [ "no/such/dir" ])
 
+let corpus_dir name = Filename.concat (Filename.dirname Sys.executable_name) name
+
 let test_cli_fixture_corpus () =
   (* The corpus is a dune dep of this test, so it is staged next to the
      executable.  As a self-test every fixture must match its
      expectations; linted as ordinary sources the violation fixtures
      must drive the exit code to 1. *)
-  let corpus = Filename.concat (Filename.dirname Sys.executable_name) "lint_fixtures" in
+  let corpus = corpus_dir "lint_fixtures" in
   Alcotest.(check int) "--fixtures corpus is green" 0
     (Dcl_lint.Cli.run [ "--fixtures"; corpus ]);
   Alcotest.(check int) "violation fixtures fail a plain lint" 1
     (Dcl_lint.Cli.run [ "--json"; corpus ])
+
+let test_cli_typed_fixture_corpus () =
+  (* The typed corpus is a compiled dune library staged (with its .cmt
+     artifacts) next to the executable, so the R7-R9 expectations run
+     against real typedtrees. *)
+  let corpus = corpus_dir "lint_fixtures_typed" in
+  Alcotest.(check int) "typed corpus self-test is green" 0
+    (Dcl_lint.Cli.run [ "--cmt"; corpus; "--fixtures"; corpus ]);
+  Alcotest.(check int) "typed violations fail a plain lint" 1
+    (Dcl_lint.Cli.run [ "--json"; "--cmt"; corpus; corpus ])
+
+let test_cli_only () =
+  let r3 = Filename.concat (corpus_dir "lint_fixtures") "r3_violation.ml" in
+  Alcotest.(check int) "--only with an unknown rule exits 2" 2
+    (Dcl_lint.Cli.run [ "--only"; "R42"; r3 ]);
+  Alcotest.(check int) "--only keeping the firing rule reports it" 1
+    (Dcl_lint.Cli.run [ "--json"; "--only"; "R3"; r3 ]);
+  Alcotest.(check int) "--only filtering the firing rule away is clean" 0
+    (Dcl_lint.Cli.run [ "--json"; "--only"; "R1"; r3 ]);
+  Alcotest.(check int) "long rule names resolve" 1
+    (Dcl_lint.Cli.run [ "--json"; "--only"; "float-cmp"; r3 ])
+
+let test_cli_changed_files () =
+  let corpus = corpus_dir "lint_fixtures" in
+  let with_list lines f =
+    let file = Filename.temp_file "dcl_lint_changed" ".txt" in
+    let oc = open_out file in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+  in
+  with_list [ "r3_violation.ml" ] (fun file ->
+      Alcotest.(check int) "sweep narrowed to a listed violation exits 1" 1
+        (Dcl_lint.Cli.run [ "--json"; "--changed-files"; file; corpus ]));
+  with_list [ "lib/nowhere/untouched.ml" ] (fun file ->
+      Alcotest.(check int) "sweep narrowed to no listed file exits 0" 0
+        (Dcl_lint.Cli.run [ "--json"; "--changed-files"; file; corpus ]));
+  Alcotest.(check int) "missing list file exits 2" 2
+    (Dcl_lint.Cli.run [ "--changed-files"; "/no/such/list"; corpus ])
+
+(* --- SARIF -------------------------------------------------------------- *)
+
+(* Minimal recursive-descent JSON syntax checker: enough to prove the
+   exporter emits a well-formed document without a JSON dependency. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = Some c then incr pos else raise Exit in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> raise Exit
+  and lit w = String.iter expect w
+  and number () =
+    let num = function
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> true
+      | _ -> false
+    in
+    while num (peek ()) do
+      incr pos
+    done
+  and str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> incr pos
+      | Some '\\' ->
+          incr pos;
+          if peek () = None then raise Exit;
+          incr pos;
+          go ()
+      | Some _ ->
+          incr pos;
+          go ()
+      | None -> raise Exit
+    in
+    go ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec fields () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            fields ()
+        | Some '}' -> incr pos
+        | _ -> raise Exit
+      in
+      fields ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec items () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            items ()
+        | Some ']' -> incr pos
+        | _ -> raise Exit
+      in
+      items ()
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_sarif_document () =
+  let diags =
+    Dcl_lint.lint_source ~mli_exists:true ~path:"lib/dcl/dcl.ml"
+      "let f x = x = 1.0\nlet g () = print_endline \"x\"\n"
+  in
+  Alcotest.(check int) "probe source fires two rules" 2 (List.length diags);
+  let s = Dcl_lint.Sarif.to_string diags in
+  Alcotest.(check bool) "SARIF parses as JSON" true (json_valid s);
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (Printf.sprintf "SARIF carries %s" field) true
+        (contains s field))
+    [
+      "\"$schema\"";
+      "\"version\":\"2.1.0\"";
+      "\"runs\"";
+      "\"driver\"";
+      "\"rules\"";
+      "\"results\"";
+      "\"ruleId\":\"R3\"";
+      "\"ruleId\":\"R4\"";
+      "\"ruleIndex\"";
+      "\"level\":\"error\"";
+      "\"physicalLocation\"";
+      "\"startLine\":1";
+      "\"startLine\":2";
+      "\"uri\":\"lib/dcl/dcl.ml\"";
+      "\"originalUriBaseIds\"";
+      "[float-cmp]";
+      "[io-containment]";
+    ];
+  Alcotest.(check bool) "an empty run still parses" true
+    (json_valid (Dcl_lint.Sarif.to_string []))
 
 let () =
   Alcotest.run "lint"
@@ -174,10 +365,16 @@ let () =
         [
           Alcotest.test_case "allow scope" `Quick test_allow_scope;
           Alcotest.test_case "bad directives" `Quick test_bad_directives;
+          Alcotest.test_case "owner directives" `Quick test_owner_directives;
         ] );
       ( "cli",
         [
           Alcotest.test_case "exit codes" `Quick test_cli_exit_codes;
           Alcotest.test_case "fixture corpus" `Quick test_cli_fixture_corpus;
+          Alcotest.test_case "typed fixture corpus" `Quick test_cli_typed_fixture_corpus;
+          Alcotest.test_case "--only filter" `Quick test_cli_only;
+          Alcotest.test_case "--changed-files filter" `Quick test_cli_changed_files;
         ] );
+      ( "sarif",
+        [ Alcotest.test_case "document shape" `Quick test_sarif_document ] );
     ]

@@ -1,59 +1,22 @@
-(* dcl-lint: AST-level contract checker for the determinism and
+(* dcl-lint v2: the two-pass contract checker for the determinism and
    domain-safety invariants of this repository.
 
-   The reproduction's headline guarantees — bit-identical EM results
-   serial vs parallel, and a zero-allocation disabled observability
-   path — are structural properties of the source, so they are checked
-   structurally: every [lib/], [bin/] and [bench/] implementation is
-   parsed with compiler-libs and walked with [Ast_iterator], and each
-   rule reports a diagnostic (file:line:col, rule id, message) when a
-   forbidden construct appears outside its sanctioned home.
+   Pass 1 (Lint_parse) parses every source with compiler-libs and walks
+   the parsetree: rules R0-R6, no build artifacts needed, runs on
+   anything that parses.  Pass 2 (Lint_typed) loads the .cmt files dune
+   already emits and walks the typedtree with real type and path
+   information: the R7 domain-ownership race checker, the R8
+   determinism rules, the R9 lock-safety rule, and type-resolved
+   upgrades of R3 (float comparisons from Typedtree types) and R5
+   (Bigarray unsafe_* alias tracking).  See lint_common.ml for the
+   directive grammar and DESIGN.md §14 for the architecture.
 
-   Rules (short id / long id):
+   This module is the facade: the public API the test suite drives
+   ([lint_source], [Cli.run], the [diag] record) and the orchestration
+   that merges both passes, deduplicates, applies suppressions, and
+   renders text / JSON / SARIF. *)
 
-   - R1 [rng-containment]     [Random.*] and [Unix.gettimeofday]-style
-                              wall-clock seeding only in
-                              [lib/stats/rng.ml].  All randomness must
-                              flow through the pre-split [Stats.Rng]
-                              streams, or per-restart/per-replicate
-                              determinism silently dies.
-   - R2 [domain-containment]  [Domain.*], [Mutex.*], [Condition.*],
-                              [Atomic.*] only in [lib/stats/pool.ml],
-                              [lib/stats/par.ml], [lib/em/em_sweep.ml]
-                              (the within-sweep chunk driver),
-                              [lib/obs/] and [lib/fleet/] (per-domain
-                              workspace caching + epoch fan-out).
-   - R3 [float-cmp]           no [=] / [<>] / [compare] on float-typed
-                              operands (syntactic float literals,
-                              float-returning applications, registered
-                              float idents), and no hand-rolled
-                              [abs_float (a -. b) < eps] tests; route
-                              through [Stats.Float_cmp].
-   - R4 [io-containment]      no [exit] / [Printf.printf] /
-                              [prerr_endline] and friends in [lib/]:
-                              binaries own process control and stdout.
-   - R5 [hot-alloc]           inside [(* lint: hot *)] ...
-                              [(* lint: end-hot *)] fences, no
-                              closure-allocating combinators
-                              ([List.*], [Array.map]/[init]/..., any
-                              [Printf.*]/[Format.*]), no list-cons
-                              allocation, and no allocating Bigarray
-                              members ([create]/[sub]/...; the
-                              load/store accessors are whitelisted).
-                              Dually, [unsafe_*] Bigarray accessors are
-                              confined TO the fences: bounds-unchecked
-                              access is only tolerated where the
-                              surrounding index arithmetic is audited.
-                              Top-level [module Ba = Bigarray.Array1]
-                              style aliases are resolved before the
-                              walk.
-   - R6 [missing-mli]         every [lib/] module ships an interface.
-
-   Any diagnostic can be suppressed for its own line or the next line
-   with [(* lint: allow RULE reason *)]; the reason is mandatory and a
-   bare allow is itself a diagnostic (R0 [bad-lint-comment]). *)
-
-type diag = {
+type diag = Lint_common.diag = {
   d_file : string;
   d_line : int;
   d_col : int;
@@ -62,666 +25,102 @@ type diag = {
   d_message : string;
 }
 
-let rules =
-  [
-    ("R0", "bad-lint-comment");
-    ("R1", "rng-containment");
-    ("R2", "domain-containment");
-    ("R3", "float-cmp");
-    ("R4", "io-containment");
-    ("R5", "hot-alloc");
-    ("R6", "missing-mli");
-  ]
+let rules = Lint_common.rules
+let normalize_rule = Lint_common.normalize_rule
 
-let long_id short = try List.assoc short rules with Not_found -> short
+(* Parse-only lint of one in-memory source: dcl-lint v1 behavior, kept
+   for the unit tests and for callers with no .cmt at hand. *)
+let lint_source = Lint_parse.lint_source
+let lint_file path = lint_source ~disk_path:path ~path (Lint_common.read_file path)
 
-(* Accept either the short or the long spelling of a rule id. *)
-let normalize_rule s =
-  let s = String.lowercase_ascii s in
-  let matches (short, long) =
-    String.lowercase_ascii short = s || String.lowercase_ascii long = s
-  in
-  match List.find_opt matches rules with
-  | Some (short, _) -> Some short
-  | None -> None
-
-let mk ~file ~line ~col ~rule message =
-  { d_file = file; d_line = line; d_col = col; d_rule = rule; d_id = long_id rule; d_message = message }
+(* SARIF rendering, exported so the test suite can validate the
+   document shape without shelling out to the CLI. *)
+module Sarif = Lint_sarif
 
 (* ------------------------------------------------------------------ *)
-(* Comment scanning.  The parser drops comments, and both the
-   suppression grammar and the hot fences live in comments, so a small
-   lexical pass recovers them: it tracks string literals, char literals
-   and nested comments well enough for this codebase's surface
-   syntax. *)
+(* The two-pass pipeline. *)
 
-type comment = { c_line : int; c_text : string }
-
-let scan_comments src =
-  let n = String.length src in
-  let out = ref [] in
-  let line = ref 1 in
-  let i = ref 0 in
-  let buf = Buffer.create 64 in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '\n' then begin
-      incr line;
-      incr i
-    end
-    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      let start_line = !line in
-      Buffer.clear buf;
-      let depth = ref 1 in
-      i := !i + 2;
-      while !depth > 0 && !i < n do
-        if src.[!i] = '\n' then begin
-          incr line;
-          Buffer.add_char buf '\n';
-          incr i
-        end
-        else if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-          incr depth;
-          Buffer.add_string buf "(*";
-          i := !i + 2
-        end
-        else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-          decr depth;
-          if !depth > 0 then Buffer.add_string buf "*)";
-          i := !i + 2
-        end
-        else begin
-          Buffer.add_char buf src.[!i];
-          incr i
-        end
-      done;
-      out := { c_line = start_line; c_text = Buffer.contents buf } :: !out
-    end
-    else if c = '"' then begin
-      (* String literal: skip to the unescaped closing quote. *)
-      incr i;
-      let fin = ref false in
-      while (not !fin) && !i < n do
-        match src.[!i] with
-        | '\\' -> i := !i + 2
-        | '"' ->
-            fin := true;
-            incr i
-        | '\n' ->
-            incr line;
-            incr i
-        | _ -> incr i
-      done
-    end
-    else if c = '\'' then
-      (* Char literal ['x'] or ['\n']; anything else (a type variable)
-         is just a quote. *)
-      if !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then i := !i + 3
-      else if !i + 1 < n && src.[!i + 1] = '\\' then begin
-        let j = ref (!i + 2) in
-        while !j < n && !j <= !i + 5 && src.[!j] <> '\'' do
-          incr j
-        done;
-        if !j < n && src.[!j] = '\'' then i := !j + 1 else incr i
-      end
-      else incr i
-    else incr i
-  done;
-  List.rev !out
-
-type directive =
-  | Allow of { a_rule : string; a_line : int }
-  | Hot_start of int
-  | Hot_end of int
-  | Expect of { e_rule : string; e_line : int }
-  | Fixture_path of string
-  | Malformed of { m_line : int; m_message : string }
-
-let split_words s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\n')
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun w -> w <> "")
-
-let strip_prefix ~prefix s =
-  if String.length s >= String.length prefix
-     && String.sub s 0 (String.length prefix) = prefix
-  then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
-  else None
-
-let parse_directive { c_line; c_text } =
-  let t = String.trim c_text in
-  match strip_prefix ~prefix:"lint:" t with
-  | Some rest -> (
-      match split_words rest with
-      | [ "hot" ] -> Some (Hot_start c_line)
-      | [ "end-hot" ] -> Some (Hot_end c_line)
-      | "allow" :: rule :: _ :: _ -> (
-          match normalize_rule rule with
-          | Some "R0" | None ->
-              Some (Malformed { m_line = c_line; m_message = "unknown rule in allow: " ^ rule })
-          | Some r -> Some (Allow { a_rule = r; a_line = c_line }))
-      | [ "allow"; rule ] ->
-          Some
-            (Malformed
-               { m_line = c_line; m_message = "allow " ^ rule ^ " needs a reason" })
-      | [ "allow" ] ->
-          Some (Malformed { m_line = c_line; m_message = "allow needs a rule and a reason" })
-      | _ ->
-          Some (Malformed { m_line = c_line; m_message = "unrecognized lint directive: " ^ rest }))
-  | None -> (
-      match strip_prefix ~prefix:"expect:" t with
-      | Some rest -> (
-          match split_words rest with
-          | [ rule ] -> (
-              match normalize_rule rule with
-              | Some r -> Some (Expect { e_rule = r; e_line = c_line })
-              | None ->
-                  Some
-                    (Malformed { m_line = c_line; m_message = "unknown rule in expect: " ^ rule }))
-          | _ -> Some (Malformed { m_line = c_line; m_message = "expect takes one rule id" }))
-      | None -> (
-          match strip_prefix ~prefix:"lint-fixture:" t with
-          | Some rest -> Some (Fixture_path (String.trim rest))
-          | None -> None))
-
-(* Fold the fence directives into inclusive line ranges; unmatched
-   fences are diagnostics, not crashes. *)
-let hot_ranges ~file directives =
-  let ranges = ref [] in
-  let bad = ref [] in
-  let open_start = ref None in
-  List.iter
-    (fun d ->
-      match d with
-      | Hot_start l -> (
-          match !open_start with
-          | None -> open_start := Some l
-          | Some _ ->
-              bad := mk ~file ~line:l ~col:0 ~rule:"R0" "nested (* lint: hot *) fence" :: !bad)
-      | Hot_end l -> (
-          match !open_start with
-          | Some s ->
-              ranges := (s, l) :: !ranges;
-              open_start := None
-          | None ->
-              bad :=
-                mk ~file ~line:l ~col:0 ~rule:"R0" "(* lint: end-hot *) without an open fence"
-                :: !bad)
-      | _ -> ())
-    directives;
-  (match !open_start with
-  | Some s ->
-      bad := mk ~file ~line:s ~col:0 ~rule:"R0" "unclosed (* lint: hot *) fence" :: !bad
-  | None -> ());
-  (List.rev !ranges, List.rev !bad)
-
-(* ------------------------------------------------------------------ *)
-(* Path classification.  Files are judged by where they sit in the
-   repository ([lib/] vs [bin/] vs [bench/]); fixture files declare a
-   virtual location with [(* lint-fixture: lib/... *)] so every rule
-   can be exercised from [test/lint_fixtures/]. *)
-
-let segments path =
-  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
-
-(* The repo-relative path: the suffix starting at the last [lib], [bin]
-   or [bench] segment, so absolute paths classify the same way. *)
-let rel_path path =
-  let segs = segments path in
-  let rec last_root acc rev =
-    match rev with
-    | [] -> None
-    | s :: _ when s = "lib" || s = "bin" || s = "bench" -> Some (s :: acc)
-    | s :: tl -> last_root (s :: acc) tl
-  in
-  match last_root [] (List.rev segs) with
-  | Some suffix -> String.concat "/" suffix
-  | None -> String.concat "/" segs
-
-let in_lib rel = match segments rel with "lib" :: _ -> true | _ -> false
-
-let rng_home rel = rel = "lib/stats/rng.ml"
-let float_cmp_home rel = rel = "lib/stats/float_cmp.ml"
-
-let concurrency_home rel =
-  match rel with
-  | "lib/stats/pool.ml" | "lib/stats/par.ml" | "lib/em/em_sweep.ml" -> true
-  | _ -> (
-      match segments rel with
-      | "lib" :: "obs" :: _ -> true
-      (* The fleet layer owns per-domain workspace caching (Domain.DLS)
-         and pool fan-out, so it is a legitimate home for domain
-         primitives. *)
-      | "lib" :: "fleet" :: _ -> true
-      (* The sketch triage layer sits on the fleet's push path and may
-         reach for the same per-domain primitives. *)
-      | "lib" :: "sketch" :: _ -> true
-      | _ -> false)
-
-(* ------------------------------------------------------------------ *)
-(* AST rules. *)
-
-let ident_name lid = try String.concat "." (Longident.flatten lid) with _ -> ""
-
-let strip_stdlib name =
-  match strip_prefix ~prefix:"Stdlib." name with Some r -> r | None -> name
-
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
-
-(* R1: references that reach for ambient randomness or wall-clock
-   seeding.  [Random] covers the whole stdlib module; the [Unix] names
-   are the classic seed sources. *)
-let rng_banned name =
-  has_prefix ~prefix:"Random." name
-  || name = "Random"
-  || name = "Unix.gettimeofday"
-  || name = "Unix.time"
-
-(* R2: multicore primitives. *)
-let concurrency_banned name =
-  List.exists
-    (fun p -> has_prefix ~prefix:p name)
-    [ "Domain."; "Mutex."; "Condition."; "Atomic." ]
-
-(* R4: process control and stdout/stderr from library code. *)
-let io_banned name =
-  List.mem name
-    [
-      "exit";
-      "print_string";
-      "print_endline";
-      "print_newline";
-      "print_int";
-      "print_float";
-      "print_char";
-      "prerr_endline";
-      "prerr_string";
-      "prerr_newline";
-      "Printf.printf";
-      "Printf.eprintf";
-      "Format.printf";
-      "Format.eprintf";
-    ]
-
-(* R5: combinators whose call (or partial application) allocates a
-   closure or a fresh structure.  Array accessors that compile to loads
-   and stores are whitelisted; everything else in [Array], all of
-   [List], and any formatting is banned inside a hot fence. *)
-let array_access_whitelist =
-  [ "get"; "set"; "unsafe_get"; "unsafe_set"; "length"; "blit"; "fill"; "unsafe_blit"; "unsafe_fill" ]
-
-let allocating name =
-  match String.index_opt name '.' with
-  | Some i -> (
-      let m = String.sub name 0 i in
-      let rest = String.sub name (i + 1) (String.length name - i - 1) in
-      match m with
-      | "List" | "Printf" | "Format" -> true
-      | "Array" -> not (List.mem rest array_access_whitelist)
-      | _ -> false)
-  | None -> name = "@" || name = "^"
-
-(* R5, Bigarray leg.  The EM hot state lives on [Bigarray.Array1]
-   buffers, so fences must admit the accessors that compile to plain
-   loads and stores — and nothing else: [create] maps fresh memory,
-   [sub]/[slice] allocate proxy records.  [unsafe_*] accessors have the
-   dual constraint: they skip bounds checks, so they are confined TO
-   the fences, where the index arithmetic is audited; an unsafe access
-   in ordinary code is a diagnostic even though it does not allocate. *)
-let bigarray_access_whitelist =
-  [ "get"; "set"; "unsafe_get"; "unsafe_set"; "dim"; "fill"; "blit"; "unsafe_fill"; "unsafe_blit" ]
-
-let bigarray_path path = path = "Bigarray" || has_prefix ~prefix:"Bigarray." path
-
-(* Member access through a [Bigarray] array-op submodule
-   ([Bigarray.Array1.get]) or a registered top-level alias
-   ([module Ba = Bigarray.Array1], so [Ba.get]).  Members of the bare
-   [Bigarray] module itself — the kind and layout values [float64],
-   [c_layout], ... — are plain constants and not array operations, so
-   they are deliberately not captured. *)
-let bigarray_member ~aliases name =
-  match String.rindex_opt name '.' with
-  | None -> None
-  | Some i ->
-      let path = String.sub name 0 i in
-      let member = String.sub name (i + 1) (String.length name - i - 1) in
-      let qualifies =
-        has_prefix ~prefix:"Bigarray." path
-        || List.exists (fun a -> a = path || has_prefix ~prefix:(a ^ ".") path) aliases
-      in
-      if qualifies then Some member else None
-
-let bigarray_aliases str =
-  let acc = ref [] in
-  let open Ast_iterator in
-  let module_binding self (mb : Parsetree.module_binding) =
-    (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
-    | Some name, Parsetree.Pmod_ident { txt; _ } ->
-        if bigarray_path (ident_name txt) then acc := name :: !acc
-    | _ -> ());
-    default_iterator.module_binding self mb
-  in
-  let it = { default_iterator with module_binding } in
-  it.structure it str;
-  !acc
-
-(* R3: syntactic float-ness.  This is an approximation — the linter has
-   no typer — but it is the approximation the contract asks for: float
-   literals, float arithmetic, float-returning stdlib calls, and a
-   registry of idents that are floats by project convention. *)
-let float_arith = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
-
-let float_returning =
-  [
-    "float_of_int";
-    "float_of_string";
-    "abs_float";
-    "sqrt";
-    "log";
-    "log10";
-    "exp";
-    "ceil";
-    "floor";
-    "mod_float";
-    "atan";
-    "atan2";
-    "cos";
-    "sin";
-    "tan";
-    "min_float";
-    "max_float";
-  ]
-
-let float_consts = [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
-
-(* Project registry: idents that are floats wherever they appear in
-   this codebase (quantile/threshold machinery of Theorems 1-2). *)
-let known_float_idents =
-  [ "threshold"; "tolerance"; "eps"; "log_likelihood"; "logl"; "mass_threshold"; "qdelay" ]
-
-let float_module_non_float =
-  [
-    "Float.equal";
-    "Float.compare";
-    "Float.is_nan";
-    "Float.is_finite";
-    "Float.is_integer";
-    "Float.to_int";
-    "Float.to_string";
-    "Float.sign_bit";
-  ]
-
-let rec is_floatish (e : Parsetree.expression) =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | Pexp_ident { txt; _ } ->
-      let name = strip_stdlib (ident_name txt) in
-      List.mem name float_consts || List.mem name known_float_idents
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
-      let name = strip_stdlib (ident_name txt) in
-      List.mem name float_arith || List.mem name float_returning
-      || (has_prefix ~prefix:"Float." name && not (List.mem name float_module_non_float))
-  | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt; _ }, []); _ }) ->
-      ident_name txt = "float" || is_floatish inner
-  | _ -> false
-
-let is_abs_application (e : Parsetree.expression) =
-  match e.pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
-      let name = strip_stdlib (ident_name txt) in
-      name = "abs_float" || name = "Float.abs"
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* One file. *)
-
-type context = {
-  x_file : string; (* path as reported in diagnostics *)
-  x_rel : string; (* repo-relative path used for classification *)
-  x_hot : (int * int) list;
-  mutable x_ba_aliases : string list; (* top-level aliases of Bigarray.* *)
-  mutable x_diags : diag list;
-}
-
-let report ctx ~loc ~rule message =
-  let p = loc.Location.loc_start in
-  ctx.x_diags <-
-    mk ~file:ctx.x_file ~line:p.Lexing.pos_lnum
-      ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
-      ~rule message
-    :: ctx.x_diags
-
-let in_hot ctx line = List.exists (fun (a, b) -> line >= a && line <= b) ctx.x_hot
-
-let check_ident ctx ~loc name =
-  let name = strip_stdlib name in
-  let line = loc.Location.loc_start.Lexing.pos_lnum in
-  if rng_banned name && not (rng_home ctx.x_rel) then
-    report ctx ~loc ~rule:"R1"
-      (name
-     ^ " breaks the pre-split RNG determinism contract; draw from a Stats.Rng stream (lib/stats/rng.ml is the only sanctioned home)");
-  if concurrency_banned name && not (concurrency_home ctx.x_rel) then
-    report ctx ~loc ~rule:"R2"
-      (name
-     ^ " outside lib/stats/pool.ml, lib/stats/par.ml, lib/em/em_sweep.ml, lib/obs/, lib/fleet/ or lib/sketch/; route parallelism through Stats.Pool");
-  if in_lib ctx.x_rel && io_banned name then
-    report ctx ~loc ~rule:"R4"
-      (name ^ " in library code; binaries own process control and stdout");
-  if in_hot ctx line && allocating name then
-    report ctx ~loc ~rule:"R5"
-      (name ^ " allocates inside a (* lint: hot *) region");
-  match bigarray_member ~aliases:ctx.x_ba_aliases name with
-  | None -> ()
-  | Some member ->
-      if in_hot ctx line then begin
-        if not (List.mem member bigarray_access_whitelist) then
-          report ctx ~loc ~rule:"R5"
-            (name
-           ^ " allocates inside a (* lint: hot *) region; only the load/store Bigarray accessors are fence-safe")
-      end
-      else if has_prefix ~prefix:"unsafe_" member then
-        report ctx ~loc ~rule:"R5"
-          (name
-         ^ " skips bounds checks outside a (* lint: hot *) fence; unsafe Bigarray access belongs inside an audited hot region")
-
-let comparison_ops = [ "=" ; "<>" ]
-let ordered_ops = [ "<"; "<="; ">"; ">=" ]
-
-let check_apply ctx ~loc fname (args : (Asttypes.arg_label * Parsetree.expression) list) =
-  if float_cmp_home ctx.x_rel then ()
-  else
-    let operands = List.map snd args in
-    let fname = strip_stdlib fname in
-    if (List.mem fname comparison_ops || fname = "compare") && List.length operands >= 2
-       && List.exists is_floatish operands
-    then
-      report ctx ~loc ~rule:"R3"
-        ("float operand under polymorphic " ^ fname
-       ^ "; exact float equality corrupts the F(2d*) threshold logic — use Stats.Float_cmp")
-    else if List.mem fname ordered_ops && List.exists is_abs_application operands then
-      report ctx ~loc ~rule:"R3"
-        "hand-rolled abs_float epsilon test; use Stats.Float_cmp.approx_eq"
-
-let walk_structure ctx str =
-  let open Ast_iterator in
-  let expr self (e : Parsetree.expression) =
-    (match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> check_ident ctx ~loc:e.pexp_loc (ident_name txt)
-    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
-        check_apply ctx ~loc:e.pexp_loc (ident_name txt) args
-    | Pexp_construct ({ txt; _ }, _)
-      when ident_name txt = "::"
-           && in_hot ctx e.pexp_loc.Location.loc_start.Lexing.pos_lnum ->
-        report ctx ~loc:e.pexp_loc ~rule:"R5" "list cons allocates inside a (* lint: hot *) region"
-    | _ -> ());
-    default_iterator.expr self e
-  in
-  let it = { default_iterator with expr } in
-  it.structure it str
-
-let parse_structure ~file src =
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf file;
-  Parse.implementation lexbuf
-
-(* Suppression: an allow comment covers its own line and the next. *)
-let apply_suppressions directives diags =
-  let allows =
-    List.filter_map (function Allow { a_rule; a_line } -> Some (a_rule, a_line) | _ -> None) directives
-  in
+(* Both passes can judge the same site (the parse pass by name
+   heuristics, the typed pass from types), so same (file, line, rule)
+   collapses to the first — i.e. lowest-column — diagnostic. *)
+let dedup_line_rule diags =
+  let seen = Hashtbl.create 64 in
   List.filter
-    (fun d ->
-      d.d_rule = "R0"
-      || not
-           (List.exists
-              (fun (rule, line) -> rule = d.d_rule && (d.d_line = line || d.d_line = line + 1))
-              allows))
+    (fun (d : diag) ->
+      let key = (d.d_file, d.d_line, d.d_rule) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
     diags
 
-(* [mli_exists]: [None] checks the filesystem next to [disk_path];
-   tests pass [Some _] to pin the answer. *)
-let lint_source ?(disk_path = "") ?mli_exists ~path src =
-  let comments = scan_comments src in
-  let directives = List.filter_map parse_directive comments in
-  let fixture_path =
-    List.find_map (function Fixture_path p -> Some p | _ -> None) directives
-  in
-  let effective = match fixture_path with Some p -> p | None -> path in
-  let rel = rel_path effective in
-  let hot, fence_diags = hot_ranges ~file:path directives in
-  let malformed =
-    List.filter_map
-      (function
-        | Malformed { m_line; m_message } ->
-            Some (mk ~file:path ~line:m_line ~col:0 ~rule:"R0" m_message)
-        | _ -> None)
-      directives
-  in
-  let ctx = { x_file = path; x_rel = rel; x_hot = hot; x_ba_aliases = []; x_diags = [] } in
-  let parse_diags =
-    try
-      let str = parse_structure ~file:path src in
-      ctx.x_ba_aliases <- bigarray_aliases str;
-      walk_structure ctx str;
-      []
-    with
-    | Syntaxerr.Error _ -> [ mk ~file:path ~line:1 ~col:0 ~rule:"R0" "syntax error; cannot lint" ]
-    | e ->
-        [ mk ~file:path ~line:1 ~col:0 ~rule:"R0" ("parse failure: " ^ Printexc.to_string e) ]
-  in
-  (if in_lib rel && Filename.check_suffix rel ".ml" then
-     let exists =
-       match mli_exists with
-       | Some b -> b
-       | None ->
-           disk_path <> ""
-           && Sys.file_exists (Filename.chop_suffix disk_path ".ml" ^ ".mli")
-     in
-     if not exists then
-       ctx.x_diags <-
-         mk ~file:path ~line:1 ~col:0 ~rule:"R6"
-           ("module " ^ Filename.basename rel ^ " exposes its full implementation; add a .mli")
-         :: ctx.x_diags);
-  let diags =
-    List.sort
-      (fun a b -> if a.d_line <> b.d_line then compare a.d_line b.d_line else compare a.d_col b.d_col)
-      (ctx.x_diags @ fence_diags @ malformed @ parse_diags)
-  in
-  apply_suppressions directives diags
+let prepare path =
+  Lint_common.file_info ~disk_path:path ~path (Lint_common.read_file path)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let finish (fi : Lint_common.file_info) raw =
+  Lint_common.apply_suppressions fi.f_directives
+    (dedup_line_rule (Lint_common.sort_diags raw))
 
-let lint_file path = lint_source ~disk_path:path ~path (read_file path)
-
-(* ------------------------------------------------------------------ *)
-(* Tree walking and output. *)
-
-let rec ml_files path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.concat_map (fun entry ->
-           if entry = "_build" || entry.[0] = '.' then []
-           else ml_files (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" then [ path ]
-  else []
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let diag_to_json d =
-  Printf.sprintf
-    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","id":"%s","message":"%s"}|}
-    (json_escape d.d_file) d.d_line d.d_col d.d_rule d.d_id (json_escape d.d_message)
-
-let print_diags ~json diags =
-  if json then
-    print_string ("[" ^ String.concat ",\n " (List.map diag_to_json diags) ^ "]\n")
-  else
-    List.iter
-      (fun d ->
-        Printf.printf "%s:%d:%d [%s/%s] %s\n" d.d_file d.d_line d.d_col d.d_rule d.d_id d.d_message)
-      diags
+(* Lint [files] (disk paths) with both passes; [cmt_roots] are scanned
+   recursively for .cmt files.  With [require_cmt], a lib/ source that
+   resolves to no .cmt is itself a diagnostic — the repo sweep uses
+   this so the typed rules cannot silently stop running. *)
+let lint_files ?(cmt_roots = []) ?(require_cmt = false) files =
+  let fis = List.map prepare files in
+  let index = Lint_tast.build_index cmt_roots in
+  let typed_of = Lint_typed.analyze ~index ~require_cmt fis in
+  List.concat_map
+    (fun (fi : Lint_common.file_info) ->
+      finish fi (Lint_parse.check fi @ typed_of fi.f_path))
+    fis
 
 (* ------------------------------------------------------------------ *)
 (* Fixture self-test: each fixture marks its expected diagnostics with
    [(* expect: RULE *)] on the offending line; the run passes when
    every fixture produces exactly its expected (line, rule) multiset —
-   suppressed variants expect nothing and must produce nothing. *)
+   suppressed variants expect nothing and must produce nothing.
+   Fixture corpora that are compiled dune libraries (the typed corpus)
+   resolve against the .cmt index like any other source, so R7-R9
+   expectations work the same way. *)
 
-let fixture_expectations src =
-  scan_comments src |> List.filter_map parse_directive
-  |> List.filter_map (function Expect { e_rule; e_line } -> Some (e_line, e_rule) | _ -> None)
-
-let run_fixtures dir =
-  let files = ml_files dir in
+let run_fixtures ?(cmt_roots = []) dirs =
+  let files = List.concat_map Lint_common.ml_files dirs in
   if files = [] then begin
-    Printf.printf "dcl-lint: no fixtures under %s\n" dir;
+    Printf.printf "dcl-lint: no fixtures under %s\n" (String.concat " " dirs);
     1
   end
   else begin
+    let fis = List.map prepare files in
+    let index = Lint_tast.build_index cmt_roots in
+    let typed_of = Lint_typed.analyze ~index ~require_cmt:false fis in
     let failures = ref 0 in
-    let checked = ref 0 in
     List.iter
-      (fun path ->
-        incr checked;
-        let src = read_file path in
-        let expected = List.sort compare (fixture_expectations src) in
-        let actual =
-          List.sort compare
-            (List.map (fun d -> (d.d_line, d.d_rule)) (lint_source ~disk_path:path ~path src))
+      (fun (fi : Lint_common.file_info) ->
+        let expected =
+          Lint_common.(
+            List.filter_map
+              (function Expect { e_rule; e_line } -> Some (e_line, e_rule) | _ -> None)
+              fi.f_directives)
+          |> List.sort compare
         in
+        let diags = finish fi (Lint_parse.check fi @ typed_of fi.f_path) in
+        let actual = List.sort compare (List.map (fun d -> (d.d_line, d.d_rule)) diags) in
         if expected <> actual then begin
           incr failures;
           let show l =
             String.concat ", " (List.map (fun (ln, r) -> Printf.sprintf "%s@%d" r ln) l)
           in
-          Printf.printf "FIXTURE FAIL %s\n  expected: [%s]\n  actual:   [%s]\n" path
+          Printf.printf "FIXTURE FAIL %s\n  expected: [%s]\n  actual:   [%s]\n" fi.f_path
             (show expected) (show actual)
         end)
-      files;
+      fis;
     if !failures = 0 then begin
-      Printf.printf "dcl-lint: %d fixtures ok\n" !checked;
+      Printf.printf "dcl-lint: %d fixtures ok\n" (List.length files);
       0
     end
     else begin
-      Printf.printf "dcl-lint: %d of %d fixtures failed\n" !failures !checked;
+      Printf.printf "dcl-lint: %d of %d fixtures failed\n" !failures (List.length files);
       1
     end
   end
@@ -729,43 +128,102 @@ let run_fixtures dir =
 (* ------------------------------------------------------------------ *)
 (* CLI. *)
 
-let version = "1.0.0"
+let version = "2.0.0"
 
 let usage =
   String.concat "\n"
-    [
-      "dcl-lint " ^ version ^ " — project-contract checker (determinism / domain-safety)";
-      "";
-      "usage: dcl-lint [--json] PATH...         lint .ml files under each PATH";
-      "       dcl-lint --fixtures DIR           self-test against expectation fixtures";
-      "       dcl-lint --version | --help";
-      "";
-      "rules:";
-      "  R1/rng-containment     Random.* and wall-clock seeding only in lib/stats/rng.ml";
-      "  R2/domain-containment  Domain/Mutex/Condition/Atomic only in pool.ml, par.ml,";
-      "                         em_sweep.ml, lib/obs/, lib/fleet/, lib/sketch/";
-      "  R3/float-cmp           no =, <>, compare on floats; no hand-rolled abs_float epsilon";
-      "  R4/io-containment      no exit / printf / prerr in lib/";
-      "  R5/hot-alloc           no allocating combinators or Bigarray create/sub inside";
-      "                         (* lint: hot *) fences; no unsafe Bigarray access outside them";
-      "  R6/missing-mli         lib/ modules must ship a .mli";
-      "";
-      "suppress one site: (* lint: allow RULE reason *)  — reason is mandatory";
-      "exit codes: 0 clean, 1 diagnostics reported, 2 usage error";
-    ]
+    ([
+       "dcl-lint " ^ version ^ " — project-contract checker (determinism / domain-safety)";
+       "";
+       "usage: dcl-lint [options] PATH...        lint .ml files under each PATH";
+       "       dcl-lint --fixtures DIR [...]     self-test against expectation fixtures";
+       "       dcl-lint --version | --help";
+       "";
+       "options:";
+       "  --json                 machine-readable diagnostics on stdout";
+       "  --sarif FILE           also write SARIF 2.1.0 to FILE ('-' for stdout)";
+       "  --cmt ROOT             scan ROOT recursively for .cmt files (repeatable);";
+       "                         enables the typed pass (R7-R9, typed R3/R5)";
+       "  --require-cmt          lib/ sources with no .cmt are a diagnostic (R0)";
+       "  --only RULES           comma-separated rule filter, e.g. R7,R9 or";
+       "                         lock-safety (R0 is always reported)";
+       "  --changed-files FILE   lint only the files listed in FILE (one path per";
+       "                         line), intersected with the PATH... sweep";
+       "";
+       "rules:";
+     ]
+    @ List.map
+        (fun (short, long) ->
+          let help =
+            match List.assoc_opt short Lint_common.rule_help with
+            | Some h -> h
+            | None -> long
+          in
+          Printf.sprintf "  %s/%-18s %s" short long help)
+        rules
+    @ [
+        "";
+        "suppress one site: (* lint: allow RULE reason *)  — reason is mandatory";
+        "annotate ownership: (* lint: owner driver|worker|shared [guarded-by MUTEX] *)";
+        "exit codes: 0 clean, 1 diagnostics reported, 2 usage error";
+      ])
+
+let read_lines path =
+  let ic = open_in path in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out |> List.map String.trim |> List.filter (fun l -> l <> "")
 
 module Cli = struct
   let run args =
     let json = ref false in
-    let fixtures = ref None in
+    let sarif = ref None in
+    let cmt_roots = ref [] in
+    let require_cmt = ref false in
+    let only = ref None in
+    let changed_files = ref None in
+    let fixtures = ref [] in
     let paths = ref [] in
     let rec parse = function
       | [] -> None
       | "--json" :: tl ->
           json := true;
           parse tl
+      | "--sarif" :: file :: tl ->
+          sarif := Some file;
+          parse tl
+      | [ "--sarif" ] -> Some "--sarif needs a file (or '-')"
+      | "--cmt" :: root :: tl ->
+          cmt_roots := root :: !cmt_roots;
+          parse tl
+      | [ "--cmt" ] -> Some "--cmt needs a directory"
+      | "--require-cmt" :: tl ->
+          require_cmt := true;
+          parse tl
+      | "--only" :: spec :: tl -> (
+          let parts = String.split_on_char ',' spec |> List.filter (fun s -> s <> "") in
+          let resolved = List.map (fun p -> (p, normalize_rule p)) parts in
+          match List.find_opt (fun (_, r) -> r = None) resolved with
+          | Some (p, _) -> Some ("unknown rule in --only: " ^ p)
+          | None when parts = [] -> Some "--only needs at least one rule"
+          | None ->
+              only := Some (List.filter_map snd resolved);
+              parse tl)
+      | [ "--only" ] -> Some "--only needs a comma-separated rule list"
+      | "--changed-files" :: file :: tl ->
+          if Sys.file_exists file then begin
+            changed_files := Some (read_lines file);
+            parse tl
+          end
+          else Some ("--changed-files: no such file " ^ file)
+      | [ "--changed-files" ] -> Some "--changed-files needs a file"
       | "--fixtures" :: dir :: tl ->
-          fixtures := Some dir;
+          fixtures := dir :: !fixtures;
           parse tl
       | [ "--fixtures" ] -> Some "--fixtures needs a directory"
       | ("--version" | "-V") :: _ ->
@@ -786,9 +244,15 @@ module Cli = struct
         prerr_endline usage;
         2
     | None -> (
-        match !fixtures with
-        | Some dir -> if Sys.file_exists dir then run_fixtures dir else (prerr_endline ("dcl-lint: no such directory " ^ dir); 2)
-        | None ->
+        match List.rev !fixtures with
+        | _ :: _ as dirs ->
+            if List.for_all Sys.file_exists dirs then
+              run_fixtures ~cmt_roots:(List.rev !cmt_roots) dirs
+            else begin
+              prerr_endline "dcl-lint: no such fixture directory";
+              2
+            end
+        | [] ->
             let roots = List.rev !paths in
             if roots = [] then begin
               prerr_endline "dcl-lint: no paths given";
@@ -800,9 +264,29 @@ module Cli = struct
               2
             end
             else begin
-              let files = List.concat_map ml_files roots in
-              let diags = List.concat_map lint_file files in
-              print_diags ~json:!json diags;
+              let files = List.concat_map Lint_common.ml_files roots in
+              let files =
+                match !changed_files with
+                | None -> files
+                | Some changed ->
+                    List.filter
+                      (fun f -> List.exists (Lint_tast.path_matches f) changed)
+                      files
+              in
+              let diags =
+                lint_files ~cmt_roots:(List.rev !cmt_roots) ~require_cmt:!require_cmt
+                  files
+              in
+              let diags =
+                match !only with
+                | None -> diags
+                | Some keep ->
+                    List.filter (fun d -> d.d_rule = "R0" || List.mem d.d_rule keep) diags
+              in
+              (match !sarif with
+              | Some file -> Lint_sarif.write ~file diags
+              | None -> ());
+              Lint_common.print_diags ~json:!json diags;
               if diags = [] then begin
                 if not !json then
                   Printf.printf "dcl-lint: %d files clean\n" (List.length files);

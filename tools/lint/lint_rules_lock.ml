@@ -1,0 +1,308 @@
+(* R9 [lock-safety]: every [Mutex.lock] must dominate a matching
+   [Mutex.unlock] on all paths out of the span, including exceptional
+   ones.  A span is accepted when, scanning forward through the
+   statement list the lock opens:
+
+   - a matching [Mutex.unlock] appears with only provably no-raise
+     statements in between, or
+   - a [Fun.protect ~finally:(fun () -> ... Mutex.unlock ...)] guards
+     the rest of the span (the body may raise; the finalizer runs), or
+   - the span ends in a [match]/[if] whose every branch satisfies the
+     same condition.
+
+   Anything else — a call that may raise between lock and unlock, a
+   branch that can leave without unlocking, a span that never unlocks
+   in this function — is a diagnostic at the lock site.  Deliberate
+   protocols (hand-over-hand relocking, unlock-in-callee) carry an
+   [allow R9] with a reason; that is the point: every exception to the
+   discipline is written down next to the lock.
+
+   "Provably no-raise" is a conservative syntactic judgment: constants,
+   identifiers, closure creation, constructors, field loads and stores,
+   sequencing/branching over no-raise parts, and applications whose
+   head is on a whitelist of non-raising primitives ([Atomic.*],
+   [Condition.*], [:=], [!], arithmetic, [List.rev], ...).  Division is
+   deliberately not whitelisted (Division_by_zero), nor is [Mutex.lock]
+   itself (Sys_error on relock, and nesting deserves review).  Lock
+   identity is the rendered lock expression — an identifier path or a
+   record-field chain like [t.q_mutex] — matched leniently: an
+   unrenderable lock expression matches any unlock. *)
+
+open Lint_common
+open Lint_tast
+
+let rec expr_key (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (norm_path p)
+  | Texp_field (b, _, lbl) -> (
+      match expr_key b with
+      | Some k -> Some (k ^ "." ^ lbl.Types.lbl_name)
+      | None -> None)
+  | _ -> None
+
+let keys_match a b = match (a, b) with Some a, Some b -> a = b | _ -> true
+
+(* Applications of [fn] with one explicit argument: the mutex. *)
+let mutex_op fn (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (head, args) when head_name head = Some fn -> (
+      match List.find_opt (fun (_, a) -> a <> None) args with
+      | Some (_, Some arg) -> Some (expr_key arg)
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The no-raise judgment. *)
+
+let whitelist =
+  [
+    ":=";
+    "!";
+    "not";
+    "&&";
+    "||";
+    "+";
+    "-";
+    "*";
+    "+.";
+    "-.";
+    "*.";
+    "/.";
+    "land";
+    "lor";
+    "lxor";
+    "lsl";
+    "lsr";
+    "asr";
+    "incr";
+    "decr";
+    "=";
+    "<>";
+    "<";
+    "<=";
+    ">";
+    ">=";
+    "==";
+    "!=";
+    "min";
+    "max";
+    "abs";
+    "ignore";
+    "fst";
+    "snd";
+    "ref";
+    "float_of_int";
+    "int_of_float";
+    "succ";
+    "pred";
+    "Atomic.get";
+    "Atomic.set";
+    "Atomic.exchange";
+    "Atomic.compare_and_set";
+    "Atomic.fetch_and_add";
+    "Atomic.incr";
+    "Atomic.decr";
+    "Atomic.make";
+    "Condition.wait";
+    "Condition.signal";
+    "Condition.broadcast";
+    "Mutex.unlock";
+    "List.rev";
+    "List.length";
+    "Array.length";
+    "String.length";
+    "Option.is_none";
+    "Option.is_some";
+    "Option.value";
+    "Hashtbl.find_opt";
+    "Hashtbl.mem";
+    "Hashtbl.length";
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.remove";
+    "Queue.is_empty";
+    "Queue.length";
+    "Queue.push";
+    "Queue.add";
+  ]
+
+(* Higher-order primitives that call their closure argument: safe only
+   when that closure's body is itself no-raise (a named function
+   argument is unknown, hence unsafe). *)
+let ho_whitelist = [ "Hashtbl.iter"; "Hashtbl.fold"; "List.iter"; "Array.iter" ]
+
+let rec no_raise (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_constant _ | Texp_ident _ | Texp_function _ | Texp_unreachable -> true
+  | Texp_construct (_, _, args) -> List.for_all no_raise args
+  | Texp_tuple es | Texp_array es -> List.for_all no_raise es
+  | Texp_variant (_, arg) -> ( match arg with None -> true | Some a -> no_raise a)
+  | Texp_record { fields; extended_expression; _ } ->
+      (match extended_expression with None -> true | Some e -> no_raise e)
+      && Array.for_all
+           (fun (_, def) ->
+             match def with
+             | Typedtree.Overridden (_, e) -> no_raise e
+             | Typedtree.Kept _ -> true)
+           fields
+  | Texp_field (b, _, _) -> no_raise b
+  | Texp_setfield (a, _, _, b) -> no_raise a && no_raise b
+  | Texp_sequence (a, b) -> no_raise a && no_raise b
+  | Texp_let (_, vbs, body) ->
+      List.for_all (fun (vb : Typedtree.value_binding) -> no_raise vb.vb_expr) vbs
+      && no_raise body
+  | Texp_ifthenelse (c, t, f) -> (
+      no_raise c && no_raise t && match f with None -> true | Some f -> no_raise f)
+  | Texp_while (c, b) -> no_raise c && no_raise b
+  | Texp_match (scrut, cases, Total) ->
+      no_raise scrut
+      && List.for_all
+           (fun (c : _ Typedtree.case) -> c.c_guard = None && no_raise c.c_rhs)
+           cases
+  | Texp_apply (head, args) -> (
+      match head_name head with
+      | Some n when List.mem n whitelist ->
+          List.for_all (fun (_, a) -> match a with None -> true | Some a -> no_raise a) args
+      | Some n when List.mem n ho_whitelist ->
+          List.for_all
+            (fun (_, a) ->
+              match a with
+              | None -> true
+              | Some ({ Typedtree.exp_desc = Texp_function { cases; _ }; _ }) ->
+                  List.for_all (fun (c : _ Typedtree.case) -> no_raise c.c_rhs) cases
+              | Some a -> (not (is_function_ty a)) && no_raise a)
+            args
+      | _ -> false)
+  | _ -> false
+
+and is_function_ty (e : Typedtree.expression) =
+  match Types.get_desc e.exp_type with Tarrow _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Span analysis. *)
+
+let rec linearize (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_sequence (a, b) -> linearize a @ linearize b
+  | Texp_let (_, vbs, body) ->
+      List.map (fun (vb : Typedtree.value_binding) -> vb.vb_expr) vbs @ linearize body
+  | _ -> [ e ]
+
+(* Does [Fun.protect]'s finalizer release this lock? *)
+let protect_unlocks key (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (head, args) when head_name head = Some "Fun.protect" ->
+      List.exists
+        (fun (label, a) ->
+          match (label, a) with
+          | ( Asttypes.Labelled "finally",
+              Some ({ Typedtree.exp_desc = Texp_function { cases; _ }; _ }) ) ->
+              List.exists
+                (fun (c : _ Typedtree.case) ->
+                  let found = ref false in
+                  let open Tast_iterator in
+                  let expr self e =
+                    (match mutex_op "Mutex.unlock" e with
+                    | Some k when keys_match key k -> found := true
+                    | _ -> ());
+                    default_iterator.expr self e
+                  in
+                  let it = { default_iterator with expr } in
+                  it.expr it c.c_rhs;
+                  !found)
+                cases
+          | _, _ -> false)
+        args
+  | _ -> false
+
+let rec satisfied key items =
+  match items with
+  | [] -> false
+  | item :: rest ->
+      (match mutex_op "Mutex.unlock" item with
+      | Some k when keys_match key k -> true
+      | _ ->
+          if protect_unlocks key item then true
+          else if rest = [] then
+            (* Terminal branch: every way out must release. *)
+            match item.Typedtree.exp_desc with
+            | Texp_match (scrut, cases, Total) when no_raise scrut ->
+                cases <> []
+                && List.for_all
+                     (fun (c : _ Typedtree.case) ->
+                       c.c_guard = None && satisfied key (linearize c.c_rhs))
+                     cases
+            | Texp_ifthenelse (c, t, Some f) when no_raise c ->
+                satisfied key (linearize t) && satisfied key (linearize f)
+            | _ -> false
+          else no_raise item && satisfied key rest)
+
+let check (u : unit_ctx) =
+  let fi = u.u_fi in
+  let diags = ref [] in
+  let rec check_block e =
+    let items = linearize e in
+    let rec scan = function
+      | [] -> ()
+      | item :: rest ->
+          (match mutex_op "Mutex.lock" item with
+          | Some key ->
+              if not (satisfied key rest) then
+                report_at diags ~file:fi.f_path ~loc:item.Typedtree.exp_loc ~rule:"R9"
+                  ("Mutex.lock"
+                  ^ (match key with Some k -> " on " ^ k | None -> "")
+                  ^ " does not dominate an unlock on all paths (a statement in \
+                     the span may raise, or a branch leaves without \
+                     unlocking); use Fun.protect ~finally or keep the span \
+                     no-raise")
+          | None -> ());
+          scan rest
+    in
+    scan items;
+    List.iter descend items
+  and descend (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { cases; _ } -> List.iter case_block cases
+    | Texp_apply (h, args) ->
+        descend h;
+        List.iter (fun (_, a) -> Option.iter descend a) args
+    | Texp_match (scrut, cases, _) ->
+        descend scrut;
+        List.iter case_block cases
+    | Texp_try (body, handlers) ->
+        check_block body;
+        List.iter case_block handlers
+    | Texp_ifthenelse (c, t, f) ->
+        descend c;
+        check_block t;
+        Option.iter check_block f
+    | Texp_while (c, b) ->
+        descend c;
+        check_block b
+    | Texp_for (_, _, lo, hi, _, body) ->
+        descend lo;
+        descend hi;
+        check_block body
+    | Texp_sequence _ | Texp_let _ -> check_block e
+    | Texp_construct (_, _, es) | Texp_tuple es | Texp_array es -> List.iter descend es
+    | Texp_record { fields; extended_expression; _ } ->
+        Option.iter descend extended_expression;
+        Array.iter
+          (fun (_, def) ->
+            match def with Typedtree.Overridden (_, e) -> descend e | Typedtree.Kept _ -> ())
+          fields
+    | Texp_field (b, _, _) -> descend b
+    | Texp_setfield (a, _, _, b) ->
+        descend a;
+        descend b
+    | Texp_variant (_, arg) -> Option.iter descend arg
+    | Texp_lazy b -> check_block b
+    | Texp_assert (b, _) -> descend b
+    | _ -> ()
+  and case_block : 'a. 'a Typedtree.case -> unit =
+   fun c ->
+    Option.iter descend c.c_guard;
+    check_block c.c_rhs
+  in
+  iter_top_bindings u.u_str (fun _submodule vb -> check_block vb.vb_expr);
+  !diags

@@ -1,0 +1,56 @@
+(* SARIF 2.1.0 exporter.  One run, one driver, the full R0-R9 rule
+   catalog (ids + the same one-line help the CLI prints), one result
+   per diagnostic.  Kept to the subset GitHub code scanning consumes:
+   ruleId/ruleIndex/level/message/locations with a physicalLocation
+   region.  Columns are 1-based in SARIF, 0-based internally. *)
+
+open Lint_common
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let version = "2.1.0"
+let tool_version = "2.0.0"
+
+let rule_index rule =
+  let rec go i = function
+    | [] -> 0
+    | (short, _) :: tl -> if short = rule then i else go (i + 1) tl
+  in
+  go 0 rules
+
+let rule_objects () =
+  rules
+  |> List.map (fun (short, long) ->
+         let help =
+           match List.assoc_opt short rule_help with Some h -> h | None -> long
+         in
+         Printf.sprintf
+           {|{"id":"%s","name":"%s","shortDescription":{"text":"%s"},"defaultConfiguration":{"level":"error"}}|}
+           (json_escape short) (json_escape long) (json_escape help))
+  |> String.concat ","
+
+let result d =
+  Printf.sprintf
+    {|{"ruleId":"%s","ruleIndex":%d,"level":"error","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s","uriBaseId":"SRCROOT"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (json_escape d.d_rule) (rule_index d.d_rule)
+    (json_escape (d.d_message ^ " [" ^ d.d_id ^ "]"))
+    (json_escape d.d_file)
+    (max 1 d.d_line) (d.d_col + 1)
+
+let to_string diags =
+  Printf.sprintf
+    {|{"$schema":"%s","version":"%s","runs":[{"tool":{"driver":{"name":"dcl-lint","version":"%s","informationUri":"https://example.invalid/dcl-lint","rules":[%s]}},"originalUriBaseIds":{"SRCROOT":{"uri":"file:///"}},"results":[%s]}]}|}
+    schema_uri version tool_version (rule_objects ())
+    (String.concat "," (List.map result diags))
+  ^ "\n"
+
+let write ~file diags =
+  let s = to_string diags in
+  if file = "-" then print_string s
+  else begin
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc s)
+  end

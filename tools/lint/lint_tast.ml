@@ -1,0 +1,205 @@
+(* Typed-tree substrate for pass 2: loading and indexing the .cmt
+   files dune emits (bin_annot is on by default), normalizing the
+   [Path.t]s the typer records, and the small type predicates the
+   R7-R9 rule modules share.
+
+   Path normalization matters because dune-wrapped libraries mangle
+   module names: the typer sees [Stats.Pool.run] as
+   [Stats__Pool.run], and [Hashtbl.fold] as [Stdlib__Hashtbl.fold] (a
+   stdlib alias module).  [norm_path] maps each component to the text
+   after its last "__" and drops a leading [Stdlib], so rule tables can
+   be written against the source-level names ([Pool.run],
+   [Hashtbl.fold], [Mutex.lock]). *)
+
+open Lint_common
+
+(* ------------------------------------------------------------------ *)
+(* Path and name normalization. *)
+
+let last_after_dunder s =
+  match String.rindex_opt s '_' with
+  | Some i when i > 0 && s.[i - 1] = '_' && i + 1 < String.length s ->
+      String.sub s (i + 1) (String.length s - i - 1)
+  | _ -> s
+
+let norm_name name =
+  let comps =
+    String.split_on_char '.' name
+    |> List.map last_after_dunder
+    |> List.filter (fun c -> c <> "")
+  in
+  let comps = match comps with "Stdlib" :: (_ :: _ as tl) -> tl | l -> l in
+  String.concat "." comps
+
+let norm_path p = norm_name (Path.name p)
+
+(* Head ident of an application: the normalized path when the function
+   position is a plain identifier. *)
+let head_name (e : Typedtree.expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (norm_path p) | _ -> None
+
+(* Like [head_name], but looks through curried application heads: the
+   typer rewrites [x |> f a] into an application whose function
+   position is the partial application [f a], so the interesting ident
+   sits one (or more) Texp_apply levels down. *)
+let rec curried_head (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (norm_path p)
+  | Texp_apply (h, _) -> curried_head h
+  | _ -> None
+
+(* The bound variable of a binding pattern: a plain [Tpat_var], or the
+   [Tpat_alias] the typer produces for [let x : t = e]. *)
+let pat_var (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, name) -> Some (id, name)
+  | Tpat_alias (_, id, name) -> Some (id, name)
+  | _ -> None
+
+(* (enclosing module, value) view of a normalized dotted path:
+   ["Pool.run"] -> [Some ("Pool", "run")]; a bare ident has no module
+   component. *)
+let split_last name =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some i ->
+      let head = String.sub name 0 i in
+      let last = String.sub name (i + 1) (String.length name - i - 1) in
+      let parent =
+        match String.rindex_opt head '.' with
+        | None -> head
+        | Some j -> String.sub head (j + 1) (String.length head - j - 1)
+      in
+      Some (parent, last)
+
+(* ------------------------------------------------------------------ *)
+(* Type predicates. *)
+
+let rec ty_constr_name (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) -> Some (norm_path p)
+  | Tpoly (ty, _) -> ty_constr_name ty
+  | _ -> None
+
+let is_float_ty ty = ty_constr_name ty = Some "float"
+
+(* The outermost constructor decides whether a top-level binding is
+   mutable state for R7.  Mutable records of project-local types are
+   not resolvable without an environment, so they are out of scope
+   (DESIGN.md §14 documents the limitation); every shared cell in this
+   repository is one of these stdlib containers. *)
+let mutable_container ty =
+  match ty_constr_name ty with
+  | Some ("ref" | "array" | "bytes") as s -> s
+  | Some ("Atomic.t" | "Hashtbl.t" | "Queue.t" | "Stack.t" | "Buffer.t") as s -> s
+  | _ -> None
+
+(* [shared] state whose outermost type is one of these synchronizes by
+   construction and needs no [guarded-by] clause. *)
+let self_guarded ty =
+  match ty_constr_name ty with
+  | Some ("Atomic.t" | "Mutex.t" | "Condition.t" | "Semaphore.Counting.t") -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Location helpers. *)
+
+let loc_line (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+let loc_col (loc : Location.t) = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol
+
+let report_at diags ~file ~loc ~rule msg =
+  diags := mk ~file ~line:(loc_line loc) ~col:(loc_col loc) ~rule msg :: !diags
+
+(* ------------------------------------------------------------------ *)
+(* The .cmt index: every .cmt under the given roots, keyed by the
+   basename of the source file it was compiled from, resolved against a
+   requested source path by suffix match.  Reading a header is cheap
+   (one Marshal.from_channel), so the index loads eagerly. *)
+
+type entry = { e_cmt : string; e_source : string; e_str : Typedtree.structure }
+
+type index = { by_base : (string, entry list) Hashtbl.t }
+
+let empty_index () = { by_base = Hashtbl.create 8 }
+
+let load_cmt path =
+  match (Cmt_format.read_cmt path).cmt_annots with
+  | Cmt_format.Implementation str -> Some str
+  | _ -> None
+  | exception _ -> None
+
+let add_root idx root =
+  List.iter
+    (fun cmt ->
+      match Cmt_format.read_cmt cmt with
+      | { cmt_sourcefile = Some src; cmt_annots = Cmt_format.Implementation str; _ } ->
+          let base = Filename.basename src in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt idx.by_base base) in
+          Hashtbl.replace idx.by_base base
+            ({ e_cmt = cmt; e_source = src; e_str = str } :: prev)
+      | _ | (exception _) -> ())
+    (cmt_files root)
+
+let build_index roots =
+  let idx = empty_index () in
+  List.iter (add_root idx) roots;
+  idx
+
+(* Suffix match in either direction, aligned on '/' boundaries, so
+   "lib/stats/pool.ml" resolves against a cmt compiled from
+   "/abs/prefix/lib/stats/pool.ml" and vice versa. *)
+let path_matches a b =
+  let a = String.concat "/" (segments a) and b = String.concat "/" (segments b) in
+  let tail_of whole suf =
+    let lw = String.length whole and ls = String.length suf in
+    lw > ls && String.sub whole (lw - ls - 1) (ls + 1) = "/" ^ suf
+  in
+  a = b || tail_of a b || tail_of b a
+
+let find idx ~source =
+  match Hashtbl.find_opt idx.by_base (Filename.basename source) with
+  | None | Some [] -> None
+  | Some [ e ] -> Some e
+  | Some entries -> (
+      match List.find_opt (fun e -> path_matches e.e_source source) entries with
+      | Some e -> Some e
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* One typed unit, ready for the rule modules. *)
+
+type unit_ctx = {
+  u_fi : file_info;
+  u_str : Typedtree.structure;
+  u_modname : string; (* "Pool" for lib/stats/pool.ml *)
+}
+
+let modname_of_source path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let unit_of_entry (fi : file_info) (e : entry) =
+  { u_fi = fi; u_str = e.e_str; u_modname = modname_of_source fi.f_path }
+
+(* Iterate the structure-level value bindings of a unit, including
+   those of nested [module M = struct ... end] definitions, with the
+   innermost enclosing module name ("" at the unit's own top level).
+   Functor bodies and first-class modules are not descended into:
+   top-level mutable state lives in plain nested modules here. *)
+let iter_top_bindings (str : Typedtree.structure) f =
+  let rec go_str prefix (str : Typedtree.structure) =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) -> List.iter (f prefix) vbs
+        | Tstr_module mb -> go_mb prefix mb
+        | Tstr_recmodule mbs -> List.iter (go_mb prefix) mbs
+        | _ -> ())
+      str.str_items
+  and go_mb _prefix (mb : Typedtree.module_binding) =
+    let name = match mb.mb_name.txt with Some n -> n | None -> "" in
+    match mb.mb_expr.mod_desc with
+    | Tmod_structure s -> go_str name s
+    | Tmod_constraint ({ mod_desc = Tmod_structure s; _ }, _, _, _) -> go_str name s
+    | _ -> ()
+  in
+  go_str "" str

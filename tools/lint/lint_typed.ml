@@ -1,0 +1,50 @@
+(* Pass 2 orchestration: resolve each linted source against the .cmt
+   index, run the global ownership collection (R7 needs every unit's
+   annotations before any unit's worker closures can be judged), then
+   the per-unit rule modules.
+
+   The two-phase shape matters: [Lint_rules_own.collect] populates one
+   table across ALL units first, so a scheduler closure in lib/fleet
+   that reaches a driver-owned cell declared in lib/stats is still
+   caught.  [analyze] returns a lookup from the diagnostic path of each
+   input file to its raw (unsorted, unsuppressed) typed diagnostics;
+   [Dcl_lint] merges them with the parse pass and applies suppressions
+   once per file. *)
+
+open Lint_common
+
+let source_key (fi : file_info) = if fi.f_disk_path <> "" then fi.f_disk_path else fi.f_path
+
+let analyze ~(index : Lint_tast.index) ~require_cmt (fis : file_info list) =
+  let tbl : (string, diag list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add (fi : file_info) ds =
+    if ds <> [] then
+      match Hashtbl.find_opt tbl fi.f_path with
+      | Some r -> r := ds @ !r
+      | None -> Hashtbl.replace tbl fi.f_path (ref ds)
+  in
+  let units =
+    List.filter_map
+      (fun fi ->
+        match Lint_tast.find index ~source:(source_key fi) with
+        | Some e -> Some (Lint_tast.unit_of_entry fi e)
+        | None ->
+            if require_cmt && in_lib fi.f_rel then
+              add fi
+                [
+                  mk ~file:fi.f_path ~line:1 ~col:0 ~rule:"R0"
+                    "no .cmt found for this module; typed rules (R7-R9) did not \
+                     run — check the @lint cmt wiring";
+                ];
+            None)
+      fis
+  in
+  let table = Lint_rules_own.create_table () in
+  List.iter (fun u -> add u.Lint_tast.u_fi (Lint_rules_own.collect table u)) units;
+  List.iter
+    (fun (u : Lint_tast.unit_ctx) ->
+      add u.u_fi (Lint_rules_own.check table u);
+      add u.u_fi (Lint_rules_det.check u);
+      add u.u_fi (Lint_rules_lock.check u))
+    units;
+  fun path -> match Hashtbl.find_opt tbl path with Some r -> !r | None -> []
